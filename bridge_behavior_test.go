@@ -1,0 +1,201 @@
+package tcpfailover_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/core"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// TestCombinedSynUsesMinimumMSS: "The MSS field of that segment is set to
+// the minimum of the MSS fields contained in the SYN segments that the TCP
+// layers of the primary and secondary servers created" (section 7.1).
+func TestCombinedSynUsesMinimumMSS(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The secondary's TCP layer announces a smaller MSS than the primary's.
+	sc.Secondary.SetTCPConfig(tcp.Config{MSS: 1000})
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewEchoServer(h.TCP(), 80)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	established := false
+	conn.OnEstablished(func() { established = true })
+	if err := sc.RunUntil(func() bool { return established }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// min(1460, 1000): the client may send at most the smaller of the two
+	// replicas' announcements. (The 8-byte diversion headroom applies to
+	// the secondary's *sending* MSS, which the client's clamped SYN governs.)
+	if got := conn.MSS(); got != 1000 {
+		t.Errorf("client effective MSS = %d, want 1000 (min of the replicas')", got)
+	}
+}
+
+// TestDivergenceDetection violates the paper's per-connection determinism
+// assumption on purpose: the two replicas produce different reply bytes,
+// and the bridge's verification counts the divergence.
+func TestDivergenceDetection(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.ServerPorts = []uint16{9000}
+	opts.Replication.Bridge = core.PrimaryConfig{VerifyReplicaOutput: true}
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately different applications: each replica pushes a different
+	// byte pattern.
+	install := func(h *netstack.Host, fill byte) error {
+		_, err := h.TCP().Listen(9000, func(c *tcp.Conn) {
+			payload := make([]byte, 4096)
+			for i := range payload {
+				payload[i] = fill
+			}
+			_, _ = c.Write(payload)
+			c.Close()
+		})
+		return err
+	}
+	if err := install(sc.Primary, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := install(sc.Secondary, 0xBB); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+
+	var diverged []core.TupleKey
+	sc.Group.PrimaryBridge().OnDivergence = func(k core.TupleKey, seq tcp.Seq) {
+		diverged = append(diverged, k)
+	}
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := apps.NewReceiver(conn, sc.Sched)
+	if err := sc.RunUntil(func() bool { return recv.EOF }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Group.PrimaryBridge().Stats().Divergences == 0 || len(diverged) == 0 {
+		t.Error("replica divergence went undetected")
+	}
+}
+
+// TestBridgeGarbageCollectsClosedConnections: after a clean close the
+// bridge deletes its per-connection structures (section 8).
+func TestBridgeGarbageCollectsClosedConnections(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 8192)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ec.check(t)
+	stats := sc.Group.PrimaryBridge().Stats()
+	if stats.ConnsOpened == 0 || stats.ConnsClosed != stats.ConnsOpened {
+		t.Errorf("bridge records: opened=%d closed=%d", stats.ConnsOpened, stats.ConnsClosed)
+	}
+	if got := sc.Group.PrimaryBridge().Conns(); got != 0 {
+		t.Errorf("bridge still tracks %d connections", got)
+	}
+}
+
+// TestLateFinFromSecondarySynthesizedAck: "When the bridge receives a FIN
+// that S sent after the bridge removed all internal data structures
+// associated with the connection, it creates an ACK and sends it back to
+// S" (section 8). The secondary is made deaf to the client's final ACK, so
+// it retransmits its FIN after the bridge has forgotten the connection.
+func TestLateFinFromSecondarySynthesizedAck(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 8192)
+
+	// Once the client has consumed the server stream (EOF seen), drop every
+	// client frame at the secondary's NIC: the closing ACK never arrives.
+	secondaryNIC := sc.Secondary.Iface(0).NIC()
+	armed := false
+	sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
+		if !armed || dst != secondaryNIC {
+			return false
+		}
+		hdr, _, err := ipv4.Unmarshal(f.Payload)
+		return err == nil && hdr.Protocol == ipv4.ProtoTCP && hdr.Src == tcpfailover.ClientAddr
+	})
+	if err := sc.RunUntil(func() bool { return ec.eof }, 10*time.Minute); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	armed = true
+
+	done := func() bool {
+		return ec.closed && sc.Group.PrimaryBridge().Stats().LateFinAcks > 0
+	}
+	if err := sc.RunUntil(done, 30*time.Minute); err != nil {
+		t.Fatalf("late-FIN handling: %v (closed=%v lateAcks=%d)",
+			err, ec.closed, sc.Group.PrimaryBridge().Stats().LateFinAcks)
+	}
+	// The synthesized ACK must have terminated the secondary's connection.
+	armed = false
+	if err := sc.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sc.Secondary.TCP().Conns() {
+		if c.Tuple().RemoteAddr == tcpfailover.ClientAddr && c.State() != tcp.StateClosed {
+			t.Errorf("secondary connection still in %v", c.State())
+		}
+	}
+}
+
+// TestEchoEOFServerCloses exercises the server-side close ordering: the
+// client half-closes first; both replicas observe EOF, close, and their
+// merged FIN reaches the client exactly once.
+func TestTerminationClientClosesFirst(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEOF := false
+	closed := false
+	conn.OnEstablished(func() {
+		_, _ = conn.Write([]byte("solo message"))
+		conn.Close() // immediate half-close
+	})
+	buf := make([]byte, 256)
+	var echoed []byte
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(buf)
+			if n > 0 {
+				echoed = append(echoed, buf[:n]...)
+				continue
+			}
+			if rerr == io.EOF {
+				gotEOF = true
+			}
+			return
+		}
+	})
+	conn.OnClose(func(error) { closed = true })
+	if err := sc.RunUntil(func() bool { return closed }, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !gotEOF || string(echoed) != "solo message" {
+		t.Errorf("eof=%v echoed=%q", gotEOF, echoed)
+	}
+}

@@ -1,0 +1,44 @@
+package tcpfailover_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/trace"
+)
+
+// TestDebugChain dumps the first moments of a chained echo exchange.
+func TestDebugChain(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to dump a packet trace")
+	}
+	sc := newChainEchoScenario(t, tcpfailover.LANOptions())
+	tr := trace.New(os.Stderr)
+	tr.Attach(sc.Client)
+	tr.Attach(sc.Primary)
+	tr.Attach(sc.Secondary)
+	tr.Attach(sc.Tertiary)
+	ec := startEchoClient(t, sc, 196608)
+	if os.Getenv("TCPFAILOVER_CRASH") != "" {
+		_ = sc.RunUntil(func() bool { return ec.received > 48*1024 }, time.Minute)
+		pos := 2
+		t.Logf("crashing position %d at %v (received=%d)", pos, sc.Sched.Now(), ec.received)
+		sc.Chain.Crash(pos)
+	}
+	_ = sc.RunUntil(func() bool { return ec.closed }, 30*time.Second)
+	t.Logf("sent=%d received=%d closed=%v headMatched=%d midMatched=%d",
+		ec.sent, ec.received, ec.closed,
+		sc.Chain.HeadBridge().Stats().BytesMatched,
+		sc.Chain.MiddleBridge().Primary().Stats().BytesMatched)
+	t.Logf("midPB stats: %+v degraded=%v", sc.Chain.MiddleBridge().Primary().Stats(), sc.Chain.MiddleBridge().Primary().Degraded())
+	t.Logf("headPB stats: %+v degraded=%v", sc.Chain.HeadBridge().Stats(), sc.Chain.HeadBridge().Degraded())
+	for _, h := range sc.Chain.Hosts() {
+		for _, c := range h.TCP().Conns() {
+			t.Logf("%s conn %v state=%v buffered=%d sendq=%d sendfree=%d", h.Name(), c.Tuple(), c.State(), c.Buffered(), c.SendQueued(), c.SendFree())
+		}
+		st := h.TCP().Stats()
+		t.Logf("%s tcp stats: %+v", h.Name(), st)
+	}
+}

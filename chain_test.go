@@ -1,0 +1,131 @@
+package tcpfailover_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+)
+
+// Three-way daisy-chained replication (the paper's section 1 extension):
+// head <- middle <- tail. The same exactly-once byte-stream property must
+// hold through any single failure — and through failure cascades, since a
+// shortened chain is just the paper's two-way system.
+
+func newChainEchoScenario(t *testing.T, opts tcpfailover.Options) *tcpfailover.Scenario {
+	t.Helper()
+	opts.Backups = 2
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if err := sc.Chain.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewEchoServer(h.TCP(), 80)
+		return err
+	}); err != nil {
+		t.Fatalf("install echo: %v", err)
+	}
+	sc.Start()
+	return sc
+}
+
+func TestChainFaultFree(t *testing.T) {
+	sc := newChainEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 128*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+
+	// All three stages did their part: the tail diverted to the middle,
+	// the middle merged and diverted to the head, the head merged for the
+	// client.
+	if n := sc.Chain.TailBridge().Stats().DivertedOut; n == 0 {
+		t.Error("tail diverted nothing")
+	}
+	if n := sc.Chain.MiddleBridge().Stats().DivertedOut; n == 0 {
+		t.Error("middle diverted nothing")
+	}
+	// Matched-byte counters undercount slightly (retransmitted overlaps are
+	// forwarded via the fast path), so require the bulk, not the total.
+	if n := sc.Chain.MiddleBridge().Primary().Stats().BytesMatched; n < 64*1024 {
+		t.Errorf("middle matched only %d bytes", n)
+	}
+	if n := sc.Chain.HeadBridge().Stats().BytesMatched; n < 64*1024 {
+		t.Errorf("head matched only %d bytes", n)
+	}
+}
+
+func TestChainSingleFailures(t *testing.T) {
+	names := []string{"head", "middle", "tail"}
+	for pos := range 3 {
+		t.Run(names[pos], func(t *testing.T) {
+			sc := newChainEchoScenario(t, tcpfailover.LANOptions())
+			ec := startEchoClient(t, sc, 192*1024)
+			if err := sc.RunUntil(func() bool { return ec.received > 48*1024 }, time.Minute); err != nil {
+				t.Fatalf("warm-up: %v", err)
+			}
+			sc.Chain.Crash(pos)
+			if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+				t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+			}
+			ec.check(t)
+		})
+	}
+}
+
+func TestChainCascadingFailures(t *testing.T) {
+	// Every ordered pair of distinct crash positions: the chain shortens
+	// to two-way after the first failure and must survive the second.
+	for first := range 3 {
+		for second := range 3 {
+			if first == second {
+				continue
+			}
+			t.Run(fmt.Sprintf("crash_%d_then_%d", first, second), func(t *testing.T) {
+				sc := newChainEchoScenario(t, tcpfailover.LANOptions())
+				ec := startEchoClient(t, sc, 256*1024)
+				if err := sc.RunUntil(func() bool { return ec.received > 32*1024 }, time.Minute); err != nil {
+					t.Fatalf("warm-up: %v", err)
+				}
+				sc.Chain.Crash(first)
+				if err := sc.RunUntil(func() bool { return ec.received > 128*1024 },
+					30*time.Minute); err != nil {
+					t.Fatalf("after first crash: %v (received=%d)", err, ec.received)
+				}
+				sc.Chain.Crash(second)
+				if err := sc.RunUntil(func() bool { return ec.closed }, 60*time.Minute); err != nil {
+					t.Fatalf("after second crash: %v (sent=%d received=%d)",
+						err, ec.sent, ec.received)
+				}
+				ec.check(t)
+			})
+		}
+	}
+}
+
+func TestChainFailoverCallbacks(t *testing.T) {
+	sc := newChainEchoScenario(t, tcpfailover.LANOptions())
+	var failed []int
+	sc.Chain.OnFailover = func(pos int) { failed = append(failed, pos) }
+	ec := startEchoClient(t, sc, 64*1024)
+	if err := sc.RunUntil(func() bool { return ec.received > 16*1024 }, time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	sc.Chain.Crash(0)
+	if err := sc.RunUntil(func() bool { return len(failed) > 0 }, time.Minute); err != nil {
+		t.Fatalf("detection: %v", err)
+	}
+	if failed[0] != 0 {
+		t.Errorf("failover position = %d, want 0", failed[0])
+	}
+	if sc.Chain.MiddleBridge().Active() {
+		t.Error("middle bridge still diverting after promotion")
+	}
+	if !sc.Secondary.Owns(tcpfailover.PrimaryAddr) {
+		t.Error("promoted middle does not own the service address")
+	}
+}

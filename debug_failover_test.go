@@ -1,0 +1,61 @@
+package tcpfailover_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/trace"
+)
+
+// Failover debugging traces; enable with TCPFAILOVER_TRACE=1.
+
+func TestDebugFailoverPrimary(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to dump a packet trace")
+	}
+	size := int64(64 * 1024)
+	if os.Getenv("TCPFAILOVER_SIZE") != "" {
+		size = 1024 * 1024
+	}
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, size)
+	warm := func() bool { return ec.received > 64*1024 }
+	if os.Getenv("TCPFAILOVER_LATE") != "" {
+		warm = func() bool { return ec.received > size/2 }
+	}
+	if err := sc.RunUntil(warm, 60*time.Second); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	t.Logf("crashing primary at %v (sent=%d received=%d)", sc.Now(), ec.sent, ec.received)
+	tr := trace.New(os.Stderr)
+	tr.Attach(sc.Client)
+	tr.Attach(sc.Secondary)
+	tr.Attach(sc.Router)
+	sc.Group.CrashPrimary()
+	_ = sc.RunUntil(func() bool { return ec.closed }, sc.Now()+300*time.Second)
+	t.Logf("end at %v: sent=%d received=%d closed=%v err=%v taken=%d",
+		sc.Now(), ec.sent, ec.received, ec.closed, ec.err,
+		sc.Group.SecondaryBridge().Stats().TakenOver)
+}
+
+func TestDebugFailoverSecondary(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to dump a packet trace")
+	}
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 64*1024)
+	if err := sc.RunUntil(func() bool { return ec.received > 64*1024 }, 60*time.Second); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	t.Logf("crashing secondary at %v (sent=%d received=%d)", sc.Now(), ec.sent, ec.received)
+	tr := trace.New(os.Stderr)
+	tr.Attach(sc.Client)
+	tr.Attach(sc.Primary)
+	sc.Group.CrashSecondary()
+	_ = sc.RunUntil(func() bool { return ec.closed }, sc.Now()+3*time.Second)
+	t.Logf("end at %v: sent=%d received=%d closed=%v err=%v degraded=%v",
+		sc.Now(), ec.sent, ec.received, ec.closed, ec.err,
+		sc.Group.PrimaryBridge().Degraded())
+}

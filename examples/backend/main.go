@@ -1,0 +1,117 @@
+// Backend: the paper's section 7.2 scenario — the replicated server acts as
+// a TCP *client* toward an unreplicated back-end server T (here a key-value
+// store). Both replicas dial T; the bridges merge their SYNs and data so T
+// sees a single ordinary connection from the primary's address. After a
+// primary failure, the middle tier's client-facing connection *and* its
+// server-initiated back-end connection both continue on the secondary.
+//
+// Run with: go run ./examples/backend
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+)
+
+const frontendPort = 8000
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "backend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opts := tcpfailover.LANOptions()
+	opts.ServerPorts = []uint16{frontendPort}
+	// Connections the replicas open toward the back-end port are failover
+	// connections too (the paper's port-set method, applied to peer ports).
+	opts.PeerPorts = []uint16{apps.KVDefaultPort}
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		return err
+	}
+
+	// The unreplicated back end T lives across the router.
+	kv, err := apps.NewKVServer(sc.Client.TCP(), apps.KVDefaultPort, map[string]string{
+		"configured": "yes",
+	})
+	if err != nil {
+		return err
+	}
+	// The replicated middle tier dials T once per client session.
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewFrontend(h.TCP(), frontendPort, tcpfailover.ClientAddr, apps.KVDefaultPort)
+		return err
+	}); err != nil {
+		return err
+	}
+	sc.Start()
+
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), frontendPort)
+	if err != nil {
+		return err
+	}
+	script := []string{
+		"FETCH configured",
+		"STORE user:1 alice",
+		"FETCH user:1",
+		"STORE user:2 bob",
+		"FETCH user:2",
+		"QUIT",
+	}
+	crashAfterReply := 2
+
+	step, replies := 0, 0
+	closed := false
+	var out strings.Builder
+	buf := make([]byte, 8192)
+	advance := func() {
+		if step < len(script) {
+			fmt.Printf("t=%8.3fms  C> %s\n", sc.Now().Seconds()*1e3, script[step])
+			_, _ = conn.Write([]byte(script[step] + "\n"))
+			step++
+		}
+	}
+	conn.OnEstablished(advance)
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(buf)
+			if n > 0 {
+				for _, line := range strings.Split(strings.TrimRight(string(buf[:n]), "\n"), "\n") {
+					fmt.Printf("t=%8.3fms  S: %s\n", sc.Now().Seconds()*1e3, line)
+				}
+				out.Write(buf[:n])
+				for strings.Count(out.String(), "\n") > replies {
+					replies++
+					if replies == crashAfterReply && sc.Primary.Alive() {
+						fmt.Printf("t=%8.3fms  *** primary crashes ***\n", sc.Now().Seconds()*1e3)
+						sc.Group.CrashPrimary()
+					}
+					advance()
+				}
+				continue
+			}
+			if rerr == io.EOF {
+				conn.Close()
+			}
+			return
+		}
+	})
+	conn.OnClose(func(error) { closed = true })
+
+	if err := sc.RunUntil(func() bool { return closed }, 10*time.Minute); err != nil {
+		return fmt.Errorf("%w\ntranscript:\n%s", err, out.String())
+	}
+	fmt.Printf("\nback end processed %d requests and holds %d keys;\n", kv.Requests, len(kv.Data))
+	fmt.Println("it never noticed that its 'client' was a replicated pair that failed over")
+	return nil
+}

@@ -1,0 +1,107 @@
+// Webstore: the paper's introductory example of a deterministic service —
+// an on-line store where "each client will get a well-defined response to a
+// browse or purchase request". A shopper browses and buys across a primary
+// failure without noticing; order identifiers stay consistent because both
+// replicas walk through the same per-connection state transitions.
+//
+// Run with: go run ./examples/webstore
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+)
+
+const storePort = 8080
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opts := tcpfailover.LANOptions()
+	opts.ServerPorts = []uint16{storePort}
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		return err
+	}
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewStoreServer(h.TCP(), storePort, apps.DefaultCatalog())
+		return err
+	}); err != nil {
+		return err
+	}
+	sc.Start()
+
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), storePort)
+	if err != nil {
+		return err
+	}
+
+	// The shopping session: after the second reply the primary dies; the
+	// session continues against the secondary.
+	script := []string{
+		"BROWSE monitor",
+		"BUY monitor 1",
+		"BUY keyboard 2",
+		"BROWSE monitor", // stock must reflect the earlier purchase
+		"QUIT",
+	}
+	crashAfterReply := 2
+
+	var out strings.Builder
+	replies := 0
+	step := 0
+	closed := false
+	buf := make([]byte, 8192)
+	advance := func() {
+		if step < len(script) {
+			fmt.Printf("t=%8.3fms  C> %s\n", sc.Now().Seconds()*1e3, script[step])
+			_, _ = conn.Write([]byte(script[step] + "\n"))
+			step++
+		}
+	}
+	conn.OnEstablished(advance)
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(buf)
+			if n > 0 {
+				out.Write(buf[:n])
+				for _, line := range strings.Split(strings.TrimRight(string(buf[:n]), "\n"), "\n") {
+					fmt.Printf("t=%8.3fms  S: %s\n", sc.Now().Seconds()*1e3, line)
+				}
+				// Every command yields exactly one reply line; advance per line.
+				for strings.Count(out.String(), "\n") > replies {
+					replies++
+					if replies == crashAfterReply && sc.Primary.Alive() {
+						fmt.Printf("t=%8.3fms  *** primary crashes ***\n", sc.Now().Seconds()*1e3)
+						sc.Group.CrashPrimary()
+					}
+					advance()
+				}
+				continue
+			}
+			if rerr == io.EOF {
+				conn.Close()
+			}
+			return
+		}
+	})
+	conn.OnClose(func(error) { closed = true })
+
+	if err := sc.RunUntil(func() bool { return closed }, 10*time.Minute); err != nil {
+		return fmt.Errorf("%w\nsession so far:\n%s", err, out.String())
+	}
+	fmt.Println("\nsession completed across the failover; transcript is deterministic")
+	return nil
+}

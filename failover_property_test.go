@@ -1,0 +1,159 @@
+package tcpfailover_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/replica"
+)
+
+// The system's core guarantee, tested as a property: no matter when a
+// server fails — and regardless of concurrent packet loss — the client's
+// byte stream is delivered exactly once, in order, and the connection
+// closes cleanly.
+
+func propertyRun(t *testing.T, seed int64, crashFrac float64, crashRole replica.Role, lossRate float64) {
+	t.Helper()
+	opts := tcpfailover.LANOptions()
+	opts.Seed = seed
+	opts.ServerLAN.LossRate = lossRate
+	opts.ClientLink.LossRate = lossRate
+	sc := newEchoScenario(t, opts)
+
+	const total = 192 * 1024
+	ec := startEchoClient(t, sc, total)
+	crashAt := int64(float64(total) * crashFrac)
+	if err := sc.RunUntil(func() bool { return ec.received >= crashAt }, 10*time.Minute); err != nil {
+		t.Fatalf("warm-up to %d: %v (received=%d)", crashAt, err, ec.received)
+	}
+	switch crashRole {
+	case replica.RolePrimary:
+		sc.Group.CrashPrimary()
+	case replica.RoleSecondary:
+		sc.Group.CrashSecondary()
+	}
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("completion: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+func TestPropertyFailoverSweepPrimary(t *testing.T) {
+	fracs := []float64{0.02, 0.2, 0.5, 0.8, 0.95}
+	for i, frac := range fracs {
+		t.Run(fmt.Sprintf("crash_at_%.0f%%", frac*100), func(t *testing.T) {
+			propertyRun(t, int64(100+i), frac, replica.RolePrimary, 0)
+		})
+	}
+}
+
+func TestPropertyFailoverSweepSecondary(t *testing.T) {
+	fracs := []float64{0.02, 0.2, 0.5, 0.8, 0.95}
+	for i, frac := range fracs {
+		t.Run(fmt.Sprintf("crash_at_%.0f%%", frac*100), func(t *testing.T) {
+			propertyRun(t, int64(200+i), frac, replica.RoleSecondary, 0)
+		})
+	}
+}
+
+func TestPropertyFailoverUnderLoss(t *testing.T) {
+	// Failover while the network is independently dropping frames: the
+	// takeover window and ordinary loss recovery compound.
+	for i, role := range []replica.Role{replica.RolePrimary, replica.RoleSecondary} {
+		t.Run(role.String(), func(t *testing.T) {
+			propertyRun(t, int64(300+i), 0.4, role, 0.01)
+		})
+	}
+}
+
+// TestFailoverDuringHandshake crashes the primary immediately after the
+// client's SYN is sent, before the connection can establish. The client's
+// SYN retransmissions must eventually connect to the promoted secondary.
+func TestFailoverDuringHandshake(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 4096)
+	sc.Group.CrashPrimary() // before any packet processing
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+// TestFailoverWithRouterARPDelay exercises the paper's interval T: the
+// router's ARP table update lags the gratuitous announcement, so segments
+// sent during T are lost and recovered by retransmission (section 5).
+func TestFailoverWithRouterARPDelay(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.RouterARPDelay = 20 * time.Millisecond
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 192*1024)
+	if err := sc.RunUntil(func() bool { return ec.received > 64*1024 }, time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	sc.Group.CrashPrimary()
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (received=%d)", err, ec.received)
+	}
+	ec.check(t)
+}
+
+// TestColdARPConnection covers connection setup without pre-warmed caches:
+// the ARP protocol itself must resolve every hop.
+func TestColdARPConnection(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.ColdARP = true
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 8192)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ec.check(t)
+}
+
+// TestManyConcurrentConnections puts several replicated connections through
+// a failover at once.
+func TestManyConcurrentConnections(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	const conns = 8
+	const each = 48 * 1024
+	clients := make([]*echoClient, conns)
+	for i := range clients {
+		clients[i] = startEchoClient(t, sc, each)
+	}
+	progressed := func() bool {
+		for _, ec := range clients {
+			if ec.received < each/4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := sc.RunUntil(progressed, 10*time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	sc.Group.CrashPrimary()
+	allClosed := func() bool {
+		for _, ec := range clients {
+			if !ec.closed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := sc.RunUntil(allClosed, 30*time.Minute); err != nil {
+		for i, ec := range clients {
+			t.Logf("conn %d: sent=%d received=%d closed=%v", i, ec.sent, ec.received, ec.closed)
+		}
+		t.Fatalf("completion: %v", err)
+	}
+	for i, ec := range clients {
+		if ec.received != each || ec.badAt >= 0 || ec.err != nil {
+			t.Errorf("conn %d: received=%d badAt=%d err=%v", i, ec.received, ec.badAt, ec.err)
+		}
+	}
+	if got := sc.Group.SecondaryBridge().Stats().TakenOver; got != conns {
+		t.Errorf("TakenOver = %d, want %d", got, conns)
+	}
+}

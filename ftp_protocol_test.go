@@ -1,0 +1,175 @@
+package tcpfailover_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// Protocol-level FTP server tests: error replies and the LIST command,
+// driven by a hand-rolled control-connection client against the replicated
+// server.
+
+type ftpProber struct {
+	conn   *tcp.Conn
+	lines  []string
+	buf    []byte
+	script []string // commands issued one per terminal reply
+	step   int
+	closed bool
+}
+
+func startFTPProber(t *testing.T, sc *tcpfailover.Scenario, script []string) *ftpProber {
+	t.Helper()
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), apps.FTPControlPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ftpProber{conn: conn, buf: make([]byte, 8192), script: script}
+	var pending string
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(p.buf)
+			if n > 0 {
+				pending += string(p.buf[:n])
+				for {
+					line, rest, ok := strings.Cut(pending, "\r\n")
+					if !ok {
+						break
+					}
+					pending = rest
+					p.lines = append(p.lines, line)
+					p.advance()
+				}
+				continue
+			}
+			if rerr == io.EOF {
+				conn.Close()
+			}
+			return
+		}
+	})
+	conn.OnClose(func(error) { p.closed = true })
+	return p
+}
+
+// advance issues the next command after each reply that looks terminal
+// (three-digit code other than 150).
+func (p *ftpProber) advance() {
+	last := p.lines[len(p.lines)-1]
+	if len(last) < 3 || last[0] == ' ' || strings.HasPrefix(last, "150") {
+		return
+	}
+	if p.step < len(p.script) {
+		_, _ = p.conn.Write([]byte(p.script[p.step] + "\r\n"))
+		p.step++
+	}
+}
+
+func (p *ftpProber) hasReply(prefix string) bool {
+	for _, l := range p.lines {
+		if strings.HasPrefix(l, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFTPErrorReplies(t *testing.T) {
+	sc := ftpScenario(t, tcpfailover.LANOptions())
+	p := startFTPProber(t, sc, []string{
+		"RETR nonexistent.bin", // 550 before any PORT
+		"STOR upload.bin",      // 425: no PORT yet
+		"NOOP",                 // 502: not implemented
+		"PORT 1,2,3",           // 501: malformed
+		"QUIT",
+	})
+	if err := sc.RunUntil(func() bool { return p.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v (lines=%q)", err, p.lines)
+	}
+	for _, want := range []string{"220", "550", "425", "502", "501", "221"} {
+		if !p.hasReply(want) {
+			t.Errorf("no %s reply; transcript: %q", want, p.lines)
+		}
+	}
+}
+
+func TestFTPListCommand(t *testing.T) {
+	sc := ftpScenario(t, tcpfailover.LANOptions())
+	p := startFTPProber(t, sc, []string{"LIST", "QUIT"})
+	if err := sc.RunUntil(func() bool { return p.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v (lines=%q)", err, p.lines)
+	}
+	if !p.hasReply("226") {
+		t.Fatalf("LIST did not complete: %q", p.lines)
+	}
+	names := apps.DefaultFTPFiles().Names()
+	joined := strings.Join(p.lines, "\n")
+	for _, n := range names {
+		if !strings.Contains(joined, n) {
+			t.Errorf("listing missing %q", n)
+		}
+	}
+}
+
+// TestStoreInsufficientStock drives the store's rejection path and verifies
+// both replicas stay in step afterward (the connection continues).
+func TestStoreInsufficientStock(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.ServerPorts = []uint16{8080}
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewStoreServer(h.TCP(), 8080, apps.DefaultCatalog())
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	buf := make([]byte, 4096)
+	closed := false
+	conn.OnEstablished(func() {
+		_, _ = conn.Write([]byte("BUY monitor 9999\nBUY monitor 2\nBROWSE nothing\nQUIT\n"))
+	})
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(buf)
+			if n > 0 {
+				out.Write(buf[:n])
+				continue
+			}
+			if rerr == io.EOF {
+				conn.Close()
+			}
+			return
+		}
+	})
+	conn.OnClose(func(error) { closed = true })
+	if err := sc.RunUntil(func() bool { return closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v (got %q)", err, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	want := []string{"409 insufficient stock", "201 ORDER 1000 monitor 2 49998", "404 no such item", "221 bye"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d: %q, want %q", i, lines[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tcpfailover
+
+go 1.24

@@ -1,0 +1,88 @@
+// Package apps provides the deterministic server applications and client
+// workload generators used by the examples and the benchmark harness: an
+// echo server, bulk stream sources and sinks, a request/reply server, a
+// simplified FTP server and client (the paper's real-world application),
+// the online store from the paper's introduction, and a key-value back end
+// for server-initiated connections.
+//
+// All applications are written against the event-driven socket API of
+// internal/tcp and are deterministic on a per-connection basis, the
+// property the paper's active replication requires: when a client connects
+// and issues a request, both replicas produce byte-identical replies.
+package apps
+
+import "tcpfailover/internal/tcp"
+
+// copyBufSize is the scratch-buffer size used by the pump loops.
+const copyBufSize = 32 * 1024
+
+// Pattern fills p with a deterministic byte pattern seeded by off; both
+// replicas generate identical streams, and receivers can verify integrity.
+func Pattern(p []byte, off int64) {
+	for i := range p {
+		x := off + int64(i)
+		p[i] = byte(x*131 + (x>>8)*31 + (x>>16)*7)
+	}
+}
+
+// VerifyPattern checks that p matches the deterministic pattern at off,
+// returning the index of the first mismatch or -1.
+func VerifyPattern(p []byte, off int64) int {
+	for i := range p {
+		x := off + int64(i)
+		if p[i] != byte(x*131+(x>>8)*31+(x>>16)*7) {
+			return i
+		}
+	}
+	return -1
+}
+
+// drainAndEcho is the shared pump used by the echo server.
+type echoConn struct {
+	c       *tcp.Conn
+	pending []byte
+	sawEOF  bool
+	buf     []byte
+}
+
+func (e *echoConn) pump() {
+	for {
+		// Flush pending bytes first so reads don't overrun the send buffer.
+		for len(e.pending) > 0 {
+			n, err := e.c.Write(e.pending)
+			if err != nil {
+				return
+			}
+			if n == 0 {
+				return // wait for OnWritable
+			}
+			e.pending = e.pending[n:]
+		}
+		if e.sawEOF {
+			e.c.Close()
+			return
+		}
+		n, err := e.c.Read(e.buf)
+		if n > 0 {
+			e.pending = append(e.pending, e.buf[:n]...)
+			continue
+		}
+		if err != nil { // io.EOF or a terminal error
+			e.sawEOF = true
+			continue
+		}
+		return // no data yet
+	}
+}
+
+// NewEchoServer installs an echo service: every accepted connection has its
+// bytes reflected back until the client half-closes, then the server closes
+// its direction. Echo is trivially deterministic, making it the canonical
+// replicated test application.
+func NewEchoServer(stack *tcp.Stack, port uint16) (*tcp.Listener, error) {
+	return stack.Listen(port, func(c *tcp.Conn) {
+		e := &echoConn{c: c, buf: make([]byte, copyBufSize)}
+		c.OnReadable(e.pump)
+		c.OnWritable(e.pump)
+	})
+}

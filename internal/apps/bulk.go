@@ -1,0 +1,235 @@
+package apps
+
+import (
+	"io"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// SinkServer accepts connections and discards everything it receives,
+// closing when the sender half-closes. It records per-connection byte
+// counts (used by the client-to-server transfer experiments).
+type SinkServer struct {
+	Received int64
+	Conns    int
+}
+
+// NewSinkServer installs a sink on port.
+func NewSinkServer(stack *tcp.Stack, port uint16) (*SinkServer, error) {
+	s := &SinkServer{}
+	_, err := stack.Listen(port, func(c *tcp.Conn) {
+		s.Conns++
+		buf := make([]byte, copyBufSize)
+		c.OnReadable(func() {
+			for {
+				n, err := c.Read(buf)
+				if n > 0 {
+					s.Received += int64(n)
+					continue
+				}
+				if err == io.EOF {
+					c.Close()
+				}
+				return
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BulkSend connects to addr:port and sends total patterned bytes, then
+// half-closes. The returned Transfer reports completion through callbacks
+// and records the timestamps the paper's Figure 3 measures: when the
+// application passed the last byte to the stack (SendDone) — "the send call
+// returns when the application has passed the last byte to the stack, not
+// when the last byte has been put on the wire" — and when the connection
+// fully closed (Closed), by which time the receiver has acknowledged
+// everything.
+type Transfer struct {
+	Conn        *tcp.Conn
+	Total       int64
+	Sent        int64
+	Established time.Duration // virtual time the connection was established
+	SendDone    time.Duration // virtual time the last byte entered the stack
+	Closed      time.Duration
+	Done        bool
+	Err         error
+	OnSent      func()
+	OnClosed    func(error)
+
+	sched  *sim.Scheduler
+	chunk  []byte
+	pacing Pacing
+	paced  bool // a pacing continuation is pending
+}
+
+// Pacing models the synchronous cost of the application's send path (system
+// call plus user-to-kernel copy). The paper's Figure 3 measures the send
+// call's duration, so the sub-buffer-size region of the curve is shaped by
+// exactly this cost.
+type Pacing struct {
+	Fixed time.Duration // per send call
+	PerKB time.Duration // copy cost per KByte
+}
+
+// Cost returns the send-path cost of accepting n bytes.
+func (p Pacing) Cost(n int) time.Duration {
+	return p.Fixed + time.Duration(int64(p.PerKB)*int64(n)/1024)
+}
+
+func (p Pacing) zero() bool { return p.Fixed == 0 && p.PerKB == 0 }
+
+// NewBulkSend starts a bulk client-to-server transfer.
+func NewBulkSend(stack *tcp.Stack, sched *sim.Scheduler, addr ipv4.Addr, port uint16, total int64) (*Transfer, error) {
+	return NewBulkSendPaced(stack, sched, addr, port, total, Pacing{})
+}
+
+// NewBulkSendPaced is NewBulkSend with an explicit send-path cost model.
+func NewBulkSendPaced(stack *tcp.Stack, sched *sim.Scheduler, addr ipv4.Addr, port uint16, total int64, pacing Pacing) (*Transfer, error) {
+	conn, err := stack.Dial(addr, port)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transfer{Conn: conn, Total: total, sched: sched, chunk: make([]byte, copyBufSize), pacing: pacing}
+	var pump func()
+	pump = func() {
+		if t.paced {
+			return // continuation already scheduled
+		}
+		for t.Sent < t.Total {
+			n := int64(len(t.chunk))
+			if t.Total-t.Sent < n {
+				n = t.Total - t.Sent
+			}
+			Pattern(t.chunk[:n], t.Sent)
+			m, err := conn.Write(t.chunk[:n])
+			if err != nil {
+				t.Err = err
+				return
+			}
+			if m == 0 {
+				return // wait for OnWritable
+			}
+			t.Sent += int64(m)
+			if !t.pacing.zero() {
+				t.paced = true
+				sched.After(t.pacing.Cost(m), "bulk.sendcost", func() {
+					t.paced = false
+					pump()
+				})
+				return
+			}
+		}
+		if !t.Done {
+			t.Done = true
+			t.SendDone = sched.Now()
+			conn.Close()
+			if t.OnSent != nil {
+				t.OnSent()
+			}
+		}
+	}
+	conn.OnEstablished(func() {
+		t.Established = sched.Now()
+		pump()
+	})
+	conn.OnWritable(pump)
+	conn.OnClose(func(err error) {
+		t.Closed = sched.Now()
+		if err != nil && t.Err == nil {
+			t.Err = err
+		}
+		if t.OnClosed != nil {
+			t.OnClosed(err)
+		}
+	})
+	return t, nil
+}
+
+// PushServer accepts a connection and immediately streams size patterned
+// bytes to the client, then closes. Used for server-to-client rate
+// experiments (Figure 5's receive direction).
+type PushServer struct {
+	Size int64
+}
+
+// NewPushServer installs a push server on port that sends size bytes to
+// every client.
+func NewPushServer(stack *tcp.Stack, port uint16, size int64) (*PushServer, error) {
+	s := &PushServer{Size: size}
+	_, err := stack.Listen(port, func(c *tcp.Conn) {
+		var sent int64
+		chunk := make([]byte, copyBufSize)
+		pump := func() {
+			for sent < s.Size {
+				n := int64(len(chunk))
+				if s.Size-sent < n {
+					n = s.Size - sent
+				}
+				Pattern(chunk[:n], sent)
+				m, err := c.Write(chunk[:n])
+				if err != nil {
+					return
+				}
+				if m == 0 {
+					return
+				}
+				sent += int64(m)
+			}
+			c.Close()
+		}
+		c.OnWritable(pump)
+		pump()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Receiver drains a connection, verifying the deterministic pattern, and
+// reports totals. Used by clients of PushServer.
+type Receiver struct {
+	Received   int64
+	BadAt      int64 // offset of first corruption, -1 if none
+	EOF        bool
+	EOFAt      time.Duration
+	OnComplete func()
+}
+
+// NewReceiver attaches pattern-verifying drain logic to an established
+// connection.
+func NewReceiver(c *tcp.Conn, sched *sim.Scheduler) *Receiver {
+	r := &Receiver{BadAt: -1}
+	buf := make([]byte, copyBufSize)
+	c.OnReadable(func() {
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				if r.BadAt < 0 {
+					if i := VerifyPattern(buf[:n], r.Received); i >= 0 {
+						r.BadAt = r.Received + int64(i)
+					}
+				}
+				r.Received += int64(n)
+				continue
+			}
+			if err == io.EOF && !r.EOF {
+				r.EOF = true
+				r.EOFAt = sched.Now()
+				c.Close()
+				if r.OnComplete != nil {
+					r.OnComplete()
+				}
+			}
+			return
+		}
+	})
+	return r
+}

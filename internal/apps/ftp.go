@@ -1,0 +1,626 @@
+package apps
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// A simplified File Transfer Protocol (RFC 959 subset) — the paper's
+// real-world application (section 9). The server listens on the well-known
+// control port 21; for each transfer the client opens a listening socket on
+// an ephemeral port, announces it with PORT, and the server connects *from*
+// port 20 to the client — a server-initiated connection that exercises the
+// bridge's section 7.2 establishment path when the server is replicated.
+//
+// The in-memory file system is deterministic: file content is the shared
+// byte Pattern, so the replicas produce identical data streams and
+// receivers can verify integrity.
+
+// FTP well-known ports.
+const (
+	FTPControlPort = 21
+	FTPDataPort    = 20
+)
+
+// FTPFiles maps file names to sizes.
+type FTPFiles map[string]int64
+
+// DefaultFTPFiles returns the paper's Figure 6 file set (sizes in KB:
+// 0.2, 1.3, 18.2, 144.9, 1738.1).
+func DefaultFTPFiles() FTPFiles {
+	return FTPFiles{
+		"tiny.txt":   205,
+		"small.txt":  1331,
+		"medium.bin": 18637,
+		"large.bin":  148378,
+		"huge.bin":   1779814,
+	}
+}
+
+// Names returns the file names sorted by size.
+func (f FTPFiles) Names() []string {
+	names := make([]string, 0, len(f))
+	for n := range f {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return f[names[i]] < f[names[j]] })
+	return names
+}
+
+// lineReader accumulates CRLF- (or LF-) terminated lines from a connection.
+type lineReader struct {
+	buf []byte
+}
+
+// feed appends raw bytes and returns any complete lines.
+func (lr *lineReader) feed(p []byte) []string {
+	lr.buf = append(lr.buf, p...)
+	var lines []string
+	for {
+		i := -1
+		for j, b := range lr.buf {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return lines
+		}
+		line := strings.TrimRight(string(lr.buf[:i]), "\r")
+		lr.buf = lr.buf[i+1:]
+		lines = append(lines, line)
+	}
+}
+
+// FTPServer serves the simplified protocol.
+type FTPServer struct {
+	stack *tcp.Stack
+	files FTPFiles
+
+	// Stored counts bytes accepted by STOR, keyed by file name.
+	Stored map[string]int64
+	// Sessions counts accepted control connections.
+	Sessions int
+}
+
+// NewFTPServer installs an FTP server on the control port.
+func NewFTPServer(stack *tcp.Stack, files FTPFiles) (*FTPServer, error) {
+	s := &FTPServer{stack: stack, files: files, Stored: make(map[string]int64)}
+	_, err := stack.Listen(FTPControlPort, func(c *tcp.Conn) {
+		s.Sessions++
+		sess := &ftpSession{srv: s, ctrl: c, buf: make([]byte, copyBufSize)}
+		c.OnReadable(sess.onCtrlReadable)
+		sess.reply("220 Service ready")
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type ftpSession struct {
+	srv  *FTPServer
+	ctrl *tcp.Conn
+	lr   lineReader
+	buf  []byte
+
+	dataAddr ipv4.Addr
+	dataPort uint16
+
+	busy    bool // a transfer is in progress; queue further commands
+	pending []string
+}
+
+func (s *ftpSession) reply(line string) {
+	// Control replies are short; the send buffer always has room.
+	_, _ = s.ctrl.Write([]byte(line + "\r\n"))
+}
+
+func (s *ftpSession) onCtrlReadable() {
+	for {
+		n, err := s.ctrl.Read(s.buf)
+		if n > 0 {
+			for _, line := range s.lr.feed(s.buf[:n]) {
+				if s.busy {
+					s.pending = append(s.pending, line)
+				} else {
+					s.command(line)
+				}
+			}
+			continue
+		}
+		if err == io.EOF {
+			s.ctrl.Close()
+		}
+		return
+	}
+}
+
+func (s *ftpSession) drainPending() {
+	for !s.busy && len(s.pending) > 0 {
+		line := s.pending[0]
+		s.pending = s.pending[1:]
+		s.command(line)
+	}
+}
+
+func (s *ftpSession) command(line string) {
+	verb, arg, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(verb) {
+	case "USER":
+		s.reply("331 User name okay, need password")
+	case "PASS":
+		s.reply("230 User logged in")
+	case "PORT":
+		addr, port, err := parsePortArg(arg)
+		if err != nil {
+			s.reply("501 Syntax error in parameters")
+			return
+		}
+		s.dataAddr, s.dataPort = addr, port
+		s.reply("200 PORT command successful")
+	case "LIST":
+		s.reply("150 Here comes the directory listing")
+		for _, name := range s.srv.files.Names() {
+			s.reply(fmt.Sprintf(" %-12s %d", name, s.srv.files[name]))
+		}
+		s.reply("226 Directory send OK")
+	case "RETR":
+		size, ok := s.srv.files[arg]
+		if !ok {
+			s.reply("550 File not found")
+			return
+		}
+		s.transfer(func(data *tcp.Conn) { s.sendFile(data, size) })
+	case "STOR":
+		name := arg
+		s.transfer(func(data *tcp.Conn) { s.recvFile(data, name) })
+	case "QUIT":
+		s.reply("221 Goodbye")
+		s.ctrl.Close()
+	default:
+		s.reply("502 Command not implemented")
+	}
+}
+
+// transfer opens the server-initiated data connection from port 20 and runs
+// the given direction-specific handler.
+func (s *ftpSession) transfer(run func(data *tcp.Conn)) {
+	if s.dataPort == 0 {
+		s.reply("425 Use PORT first")
+		return
+	}
+	s.reply("150 Opening data connection")
+	data, err := s.srv.stack.DialFrom(FTPDataPort, s.dataAddr, s.dataPort)
+	if err != nil {
+		s.reply("425 Can't open data connection")
+		return
+	}
+	s.busy = true
+	run(data)
+}
+
+func (s *ftpSession) finishTransfer(ok bool) {
+	if ok {
+		s.reply("226 Transfer complete")
+	} else {
+		s.reply("426 Connection closed; transfer aborted")
+	}
+	s.busy = false
+	s.drainPending()
+}
+
+func (s *ftpSession) sendFile(data *tcp.Conn, size int64) {
+	var sent int64
+	finished := false
+	chunk := make([]byte, copyBufSize)
+	pump := func() {
+		for sent < size {
+			n := int64(len(chunk))
+			if size-sent < n {
+				n = size - sent
+			}
+			Pattern(chunk[:n], sent)
+			m, err := data.Write(chunk[:n])
+			if err != nil {
+				return
+			}
+			if m == 0 {
+				return
+			}
+			sent += int64(m)
+		}
+		data.Close()
+		if !finished {
+			// 226 is sent when the transfer completes from the server's
+			// perspective; the connection's TIME-WAIT lingers independently.
+			finished = true
+			s.finishTransfer(true)
+		}
+	}
+	data.OnEstablished(pump)
+	data.OnWritable(pump)
+	data.OnClose(func(err error) {
+		if !finished {
+			finished = true
+			s.finishTransfer(err == nil && sent == size)
+		}
+	})
+}
+
+func (s *ftpSession) recvFile(data *tcp.Conn, name string) {
+	var got int64
+	finished := false
+	buf := make([]byte, copyBufSize)
+	data.OnReadable(func() {
+		for {
+			n, err := data.Read(buf)
+			if n > 0 {
+				got += int64(n)
+				continue
+			}
+			if err == io.EOF {
+				s.srv.Stored[name] = got
+				data.Close()
+				if !finished {
+					finished = true
+					s.finishTransfer(true)
+				}
+			}
+			return
+		}
+	})
+	data.OnClose(func(err error) {
+		if !finished {
+			finished = true
+			s.finishTransfer(err == nil)
+		}
+	})
+}
+
+func parsePortArg(arg string) (ipv4.Addr, uint16, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 6 {
+		return 0, 0, fmt.Errorf("ftp: bad PORT %q", arg)
+	}
+	var nums [6]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 || v > 255 {
+			return 0, 0, fmt.Errorf("ftp: bad PORT %q", arg)
+		}
+		nums[i] = v
+	}
+	addr := ipv4.AddrFrom4(byte(nums[0]), byte(nums[1]), byte(nums[2]), byte(nums[3]))
+	return addr, uint16(nums[4])<<8 | uint16(nums[5]), nil
+}
+
+func formatPortArg(addr ipv4.Addr, port uint16) string {
+	a := uint32(addr)
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d",
+		byte(a>>24), byte(a>>16), byte(a>>8), byte(a), byte(port>>8), byte(port))
+}
+
+// FTPResult reports one completed client transfer.
+type FTPResult struct {
+	Name     string
+	Bytes    int64
+	Elapsed  time.Duration // data-phase time, first event to data-conn close
+	RateKBps float64
+	BadAt    int64 // pattern corruption offset for gets, -1 if clean
+	Err      error
+}
+
+// FTPClient drives the simplified protocol against a (possibly replicated)
+// server. Operations queue and execute sequentially, as interactive FTP
+// clients do.
+type FTPClient struct {
+	stack     *tcp.Stack
+	sched     *sim.Scheduler
+	ownAddr   ipv4.Addr
+	ctrl      *tcp.Conn
+	lr        lineReader
+	buf       []byte
+	nextEphem uint16
+
+	queue   []*ftpOp
+	current *ftpOp
+	// Done is invoked after QUIT completes and the control connection
+	// closes.
+	Done func()
+	// PutPacing models the user-space client's per-write cost during
+	// uploads (calibrated in EXPERIMENTS.md against the paper's figure 6
+	// put rates, which are send-call-bound for sub-buffer files).
+	PutPacing Pacing
+}
+
+type ftpOp struct {
+	kind     string // LOGIN, GET, PUT, QUIT
+	name     string
+	size     int64
+	cb       func(FTPResult)
+	stage    int
+	started  time.Duration
+	got      int64
+	sent     int64
+	badAt    int64
+	ended    bool // data phase complete
+	sendDone time.Duration
+	elapsed  time.Duration
+}
+
+// NewFTPClient connects to the server's control port.
+func NewFTPClient(stack *tcp.Stack, sched *sim.Scheduler, ownAddr, server ipv4.Addr) (*FTPClient, error) {
+	ctrl, err := stack.Dial(server, FTPControlPort)
+	if err != nil {
+		return nil, err
+	}
+	c := &FTPClient{
+		stack:     stack,
+		sched:     sched,
+		ownAddr:   ownAddr,
+		ctrl:      ctrl,
+		buf:       make([]byte, copyBufSize),
+		nextEphem: 40000,
+	}
+	ctrl.OnReadable(c.onCtrlReadable)
+	ctrl.OnClose(func(error) {
+		if c.Done != nil {
+			c.Done()
+		}
+	})
+	return c, nil
+}
+
+// Login queues a USER/PASS exchange.
+func (c *FTPClient) Login(cb func(FTPResult)) { c.enqueue(&ftpOp{kind: "LOGIN", cb: cb}) }
+
+// Get queues a download of name.
+func (c *FTPClient) Get(name string, cb func(FTPResult)) {
+	c.enqueue(&ftpOp{kind: "GET", name: name, cb: cb, badAt: -1})
+}
+
+// Put queues an upload of size patterned bytes as name.
+func (c *FTPClient) Put(name string, size int64, cb func(FTPResult)) {
+	c.enqueue(&ftpOp{kind: "PUT", name: name, size: size, cb: cb, badAt: -1})
+}
+
+// Quit queues session termination.
+func (c *FTPClient) Quit() { c.enqueue(&ftpOp{kind: "QUIT"}) }
+
+func (c *FTPClient) enqueue(op *ftpOp) {
+	c.queue = append(c.queue, op)
+	c.advance()
+}
+
+func (c *FTPClient) advance() {
+	if c.current != nil || len(c.queue) == 0 {
+		return
+	}
+	c.current = c.queue[0]
+	c.queue = c.queue[1:]
+	op := c.current
+	switch op.kind {
+	case "LOGIN":
+		c.send("USER anonymous")
+	case "GET", "PUT":
+		port := c.nextEphem
+		c.nextEphem++
+		if err := c.openDataListener(op, port); err != nil {
+			c.fail(op, err)
+			return
+		}
+		c.send("PORT " + formatPortArg(c.ownAddr, port))
+	case "QUIT":
+		c.send("QUIT")
+	}
+}
+
+func (c *FTPClient) send(line string) { _, _ = c.ctrl.Write([]byte(line + "\r\n")) }
+
+func (c *FTPClient) fail(op *ftpOp, err error) {
+	c.current = nil
+	if op.cb != nil {
+		op.cb(FTPResult{Name: op.name, Err: err})
+	}
+	c.advance()
+}
+
+func (c *FTPClient) complete(op *ftpOp) {
+	rate := 0.0
+	if op.elapsed > 0 {
+		bytes := op.got
+		if op.kind == "PUT" {
+			bytes = op.sent
+		}
+		rate = float64(bytes) / 1024.0 / op.elapsed.Seconds()
+	}
+	c.current = nil
+	if op.cb != nil {
+		op.cb(FTPResult{
+			Name:     op.name,
+			Bytes:    op.got + op.sent,
+			Elapsed:  op.elapsed,
+			RateKBps: rate,
+			BadAt:    op.badAt,
+		})
+	}
+	c.advance()
+}
+
+// openDataListener arranges the client-side data socket for one transfer.
+func (c *FTPClient) openDataListener(op *ftpOp, port uint16) error {
+	var lst *tcp.Listener
+	lst, err := c.stack.Listen(port, func(data *tcp.Conn) {
+		lst.Close() // single-use data socket
+		if op.started == 0 {
+			// Uploads time the send loop only (see the put-rate comment);
+			// downloads already started their clock at the command.
+			op.started = c.sched.Now()
+		}
+		endData := func() {
+			if !op.ended {
+				op.ended = true
+				op.elapsed = c.sched.Now() - op.started
+				if op.kind == "PUT" && op.sendDone > 0 {
+					op.elapsed = op.sendDone - op.started
+				}
+				c.maybeFinish(op)
+			}
+		}
+		switch op.kind {
+		case "GET":
+			buf := make([]byte, copyBufSize)
+			data.OnReadable(func() {
+				for {
+					n, rerr := data.Read(buf)
+					if n > 0 {
+						if op.badAt < 0 {
+							if i := VerifyPattern(buf[:n], op.got); i >= 0 {
+								op.badAt = op.got + int64(i)
+							}
+						}
+						op.got += int64(n)
+						continue
+					}
+					if rerr == io.EOF {
+						data.Close()
+						endData() // EOF ends the data phase; TIME-WAIT lingers
+					}
+					return
+				}
+			})
+		case "PUT":
+			chunk := make([]byte, copyBufSize)
+			paced := false
+			var pump func()
+			pump = func() {
+				if paced {
+					return
+				}
+				for op.sent < op.size {
+					n := int64(len(chunk))
+					if op.size-op.sent < n {
+						n = op.size - op.sent
+					}
+					Pattern(chunk[:n], op.sent)
+					m, werr := data.Write(chunk[:n])
+					if werr != nil {
+						return
+					}
+					if m == 0 {
+						return
+					}
+					op.sent += int64(m)
+					if cost := c.PutPacing.Cost(m); cost > 0 {
+						paced = true
+						c.sched.After(cost, "ftp.putcost", func() {
+							paced = false
+							pump()
+						})
+						return
+					}
+				}
+				if op.sendDone == 0 {
+					// Upload rate is measured the way FTP clients report
+					// it: bytes over the duration of the send loop, which
+					// returns when the stack has accepted the last byte —
+					// not when it reaches the wire (cf. the paper's
+					// figure 6 put rates exceeding the link bandwidth for
+					// small files).
+					op.sendDone = c.sched.Now()
+				}
+				data.Close()
+				endData()
+			}
+			data.OnWritable(pump)
+			pump()
+		}
+		data.OnClose(func(error) { endData() })
+	})
+	return err
+}
+
+func (c *FTPClient) onCtrlReadable() {
+	for {
+		n, err := c.ctrl.Read(c.buf)
+		if n > 0 {
+			for _, line := range c.lr.feed(c.buf[:n]) {
+				c.response(line)
+			}
+			continue
+		}
+		if err == io.EOF {
+			c.ctrl.Close()
+		}
+		return
+	}
+}
+
+func (c *FTPClient) response(line string) {
+	op := c.current
+	if op == nil || len(line) < 3 {
+		return
+	}
+	code, err := strconv.Atoi(line[:3])
+	if err != nil {
+		return // continuation line (e.g. LIST output)
+	}
+	if code == 220 {
+		return // server greeting banner
+	}
+	switch op.kind {
+	case "LOGIN":
+		switch code {
+		case 331:
+			c.send("PASS guest")
+		case 230:
+			c.complete(op)
+		default:
+			c.fail(op, fmt.Errorf("ftp: login rejected: %s", line))
+		}
+	case "GET", "PUT":
+		switch {
+		case code == 200 && op.stage == 0: // PORT accepted
+			op.stage = 1
+			if op.kind == "GET" {
+				// Download rates are measured from the moment the command
+				// is issued, the way interactive clients report them (the
+				// paper's small-file get rates include this round trip).
+				op.started = c.sched.Now()
+				c.send("RETR " + op.name)
+			} else {
+				c.send("STOR " + op.name)
+			}
+		case code == 150:
+			// Data connection announced; timing starts at accept.
+		case code == 226:
+			op.stage = 2
+			c.maybeFinish(op)
+		case code >= 400:
+			c.fail(op, fmt.Errorf("ftp: %s", line))
+		}
+	case "QUIT":
+		if code == 221 {
+			c.current = nil
+			c.ctrl.Close()
+		}
+	}
+}
+
+// maybeFinish completes a transfer op once both the data phase has ended
+// and the 226 reply has arrived.
+func (c *FTPClient) maybeFinish(op *ftpOp) {
+	if op.ended && op.stage == 2 {
+		c.complete(op)
+	}
+}

@@ -1,0 +1,269 @@
+// Package arp implements the Address Resolution Protocol for the simulated
+// Ethernet, including the gratuitous ARP announcement that realizes the
+// paper's IP takeover (reference [4] of the paper): when the secondary
+// server takes over the primary's address, it broadcasts an ARP that causes
+// the router to rebind the address to the secondary's MAC. The configurable
+// processing delay on the router side contributes to the paper's interval T
+// during which in-flight segments are lost and must be recovered by TCP
+// retransmission.
+package arp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+)
+
+// Operation codes.
+const (
+	OpRequest = 1
+	OpReply   = 2
+)
+
+// PacketLen is the length of an Ethernet/IPv4 ARP packet.
+const PacketLen = 28
+
+// Packet is a parsed ARP packet.
+type Packet struct {
+	Op        uint16
+	SenderMAC ethernet.MAC
+	SenderIP  ipv4.Addr
+	TargetMAC ethernet.MAC
+	TargetIP  ipv4.Addr
+}
+
+// ErrTruncated is returned when unmarshaling a short packet.
+var ErrTruncated = errors.New("arp: truncated packet")
+
+// ErrUnresolvable is reported to Resolve callbacks after retries expire.
+var ErrUnresolvable = errors.New("arp: address did not resolve")
+
+// Marshal renders the packet in wire format.
+func Marshal(p Packet) []byte {
+	b := make([]byte, PacketLen)
+	b[0], b[1] = 0, 1 // hardware type: Ethernet
+	b[2], b[3] = 0x08, 0x00
+	b[4], b[5] = 6, 4 // address lengths
+	b[6] = byte(p.Op >> 8)
+	b[7] = byte(p.Op)
+	copy(b[8:14], p.SenderMAC[:])
+	ipv4.PutAddr(b[14:18], p.SenderIP)
+	copy(b[18:24], p.TargetMAC[:])
+	ipv4.PutAddr(b[24:28], p.TargetIP)
+	return b
+}
+
+// Unmarshal parses a wire-format packet.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < PacketLen {
+		return Packet{}, ErrTruncated
+	}
+	var p Packet
+	p.Op = uint16(b[6])<<8 | uint16(b[7])
+	copy(p.SenderMAC[:], b[8:14])
+	p.SenderIP = ipv4.GetAddr(b[14:18])
+	copy(p.TargetMAC[:], b[18:24])
+	p.TargetIP = ipv4.GetAddr(b[24:28])
+	return p, nil
+}
+
+// Config tunes the module.
+type Config struct {
+	// EntryTTL is how long cache entries stay valid. Default 20 minutes
+	// (BSD heritage); the paper's measurements keep caches warm.
+	EntryTTL time.Duration
+	// RequestTimeout is the per-attempt resolution timeout. Default 1 s.
+	RequestTimeout time.Duration
+	// MaxRetries bounds resolution attempts. Default 3.
+	MaxRetries int
+	// ProcessingDelay is how long after an ARP packet arrives that this
+	// station's table reflects it; it models ARP handling latency in a
+	// router's slow path and contributes to the paper's takeover window T.
+	ProcessingDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.EntryTTL == 0 {
+		c.EntryTTL = 20 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	return c
+}
+
+type entry struct {
+	mac     ethernet.MAC
+	expires time.Duration
+}
+
+type pending struct {
+	callbacks []func(ethernet.MAC, error)
+	attempts  int
+	timer     *sim.Event
+}
+
+// Module is one interface's ARP engine: a cache plus resolver.
+type Module struct {
+	sched *sim.Scheduler
+	nic   *ethernet.NIC
+	cfg   Config
+
+	// owns reports whether this station answers requests for ip on this
+	// interface. It is a func so IP takeover changes behavior immediately.
+	owns func(ipv4.Addr) bool
+	// srcIP supplies the sender address for outgoing requests.
+	srcIP func() ipv4.Addr
+
+	cache   map[ipv4.Addr]entry
+	waiting map[ipv4.Addr]*pending
+}
+
+// New creates a module bound to nic. owns and srcIP must be non-nil.
+func New(sched *sim.Scheduler, nic *ethernet.NIC, cfg Config,
+	owns func(ipv4.Addr) bool, srcIP func() ipv4.Addr) *Module {
+	return &Module{
+		sched:   sched,
+		nic:     nic,
+		cfg:     cfg.withDefaults(),
+		owns:    owns,
+		srcIP:   srcIP,
+		cache:   make(map[ipv4.Addr]entry),
+		waiting: make(map[ipv4.Addr]*pending),
+	}
+}
+
+// Lookup consults the cache without generating traffic.
+func (m *Module) Lookup(ip ipv4.Addr) (ethernet.MAC, bool) {
+	e, ok := m.cache[ip]
+	if !ok || m.sched.Now() >= e.expires {
+		return ethernet.MAC{}, false
+	}
+	return e.mac, true
+}
+
+// Seed installs a static cache entry (used to pre-warm caches, as the
+// paper's measurements do: "We made sure that the MAC addresses of all
+// nodes were present in the ARP caches").
+func (m *Module) Seed(ip ipv4.Addr, mac ethernet.MAC) {
+	m.cache[ip] = entry{mac: mac, expires: m.sched.Now() + m.cfg.EntryTTL}
+}
+
+// Flush discards the cache.
+func (m *Module) Flush() { m.cache = make(map[ipv4.Addr]entry) }
+
+// Resolve invokes cb with the MAC for ip, sending requests as needed. The
+// callback runs inside the event loop, possibly synchronously on cache hit.
+func (m *Module) Resolve(ip ipv4.Addr, cb func(ethernet.MAC, error)) {
+	if mac, ok := m.Lookup(ip); ok {
+		cb(mac, nil)
+		return
+	}
+	if w, ok := m.waiting[ip]; ok {
+		w.callbacks = append(w.callbacks, cb)
+		return
+	}
+	w := &pending{callbacks: []func(ethernet.MAC, error){cb}}
+	m.waiting[ip] = w
+	m.sendRequest(ip, w)
+}
+
+func (m *Module) sendRequest(ip ipv4.Addr, w *pending) {
+	w.attempts++
+	pkt := Packet{
+		Op:        OpRequest,
+		SenderMAC: m.nic.MAC(),
+		SenderIP:  m.srcIP(),
+		TargetIP:  ip,
+	}
+	if err := m.nic.Send(ethernet.Frame{
+		Dst:     ethernet.Broadcast,
+		Type:    ethernet.TypeARP,
+		Payload: Marshal(pkt),
+	}); err != nil {
+		m.fail(ip, w, err)
+		return
+	}
+	w.timer = m.sched.After(m.cfg.RequestTimeout, "arp.timeout", func() {
+		if w.attempts >= m.cfg.MaxRetries {
+			m.fail(ip, w, fmt.Errorf("%w: %s after %d attempts", ErrUnresolvable, ip, w.attempts))
+			return
+		}
+		m.sendRequest(ip, w)
+	})
+}
+
+func (m *Module) fail(ip ipv4.Addr, w *pending, err error) {
+	delete(m.waiting, ip)
+	for _, cb := range w.callbacks {
+		cb(ethernet.MAC{}, err)
+	}
+}
+
+// Announce broadcasts a gratuitous ARP claiming ip for this NIC. This is
+// step 5 of the paper's primary-failure procedure: the secondary "takes
+// over the IP address of the primary server".
+func (m *Module) Announce(ip ipv4.Addr) error {
+	pkt := Packet{
+		Op:        OpRequest,
+		SenderMAC: m.nic.MAC(),
+		SenderIP:  ip,
+		TargetIP:  ip,
+	}
+	return m.nic.Send(ethernet.Frame{
+		Dst:     ethernet.Broadcast,
+		Type:    ethernet.TypeARP,
+		Payload: Marshal(pkt),
+	})
+}
+
+// HandleFrame processes a received ARP frame.
+func (m *Module) HandleFrame(f ethernet.Frame) {
+	pkt, err := Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	// Learn/refresh the sender binding. The ProcessingDelay models slow-path
+	// table maintenance (notably in the router during IP takeover).
+	if !pkt.SenderIP.IsZero() {
+		update := func() {
+			m.cache[pkt.SenderIP] = entry{
+				mac:     pkt.SenderMAC,
+				expires: m.sched.Now() + m.cfg.EntryTTL,
+			}
+			if w, ok := m.waiting[pkt.SenderIP]; ok {
+				delete(m.waiting, pkt.SenderIP)
+				w.timer.Stop()
+				for _, cb := range w.callbacks {
+					cb(pkt.SenderMAC, nil)
+				}
+			}
+		}
+		if m.cfg.ProcessingDelay > 0 {
+			m.sched.After(m.cfg.ProcessingDelay, "arp.update", update)
+		} else {
+			update()
+		}
+	}
+	if pkt.Op == OpRequest && m.owns(pkt.TargetIP) && pkt.SenderIP != pkt.TargetIP {
+		reply := Packet{
+			Op:        OpReply,
+			SenderMAC: m.nic.MAC(),
+			SenderIP:  pkt.TargetIP,
+			TargetMAC: pkt.SenderMAC,
+			TargetIP:  pkt.SenderIP,
+		}
+		_ = m.nic.Send(ethernet.Frame{
+			Dst:     pkt.SenderMAC,
+			Type:    ethernet.TypeARP,
+			Payload: Marshal(reply),
+		})
+	}
+}

@@ -1,0 +1,518 @@
+// Package bench implements the paper's evaluation (section 9) as
+// reproducible experiments over the simulated testbed, plus an extension
+// experiment measuring failover latency. Each experiment builds fresh
+// scenarios, drives the workload in virtual time, and reports statistics in
+// the units the paper uses. The cmd/failover-bench tool prints each result
+// next to the paper's published numbers; bench_test.go exposes each as a
+// testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/metrics"
+	"tcpfailover/internal/netstack"
+)
+
+// Mode selects the baseline or the replicated system.
+type Mode int
+
+// Modes.
+const (
+	Standard Mode = iota + 1 // unreplicated server, plain TCP
+	Failover                 // replicated server behind the bridges
+)
+
+// String names the mode the way the paper's tables do.
+func (m Mode) String() string {
+	if m == Standard {
+		return "standard TCP"
+	}
+	return "TCP Failover"
+}
+
+// Figure3Sizes are the paper's message lengths (64 bytes to 1 MByte).
+var Figure3Sizes = []int64{
+	64, 256, 1024, 4096, 16384, 32768, 65536,
+	131072, 262144, 524288, 1048576,
+}
+
+// SendPacing models the send(2) call cost on the paper's client (system
+// call entry plus user-to-kernel copy); it shapes the sub-buffer-size
+// region of Figure 3.
+var SendPacing = apps.Pacing{Fixed: 20 * time.Microsecond, PerKB: 10 * time.Microsecond}
+
+// FTPPutPacing models the user-space FTP client's write-loop cost, which
+// dominates the paper's figure 6 put rates for files that fit in the send
+// buffer (calibrated; see EXPERIMENTS.md).
+var FTPPutPacing = apps.Pacing{Fixed: 100 * time.Microsecond, PerKB: 300 * time.Microsecond}
+
+const benchPort = 9000
+
+// scenario builds a LAN scenario for the mode with an echo-style port
+// reserved for the experiment apps.
+func scenario(mode Mode, seed int64, ports ...uint16) (*tcpfailover.Scenario, error) {
+	opts := tcpfailover.LANOptions()
+	opts.Seed = seed
+	opts.Unreplicated = mode == Standard
+	opts.ServerPorts = ports
+	return tcpfailover.NewScenario(opts)
+}
+
+// installOnServers runs the installer on the server host(s).
+func installOnServers(sc *tcpfailover.Scenario, install func(h *netstack.Host) error) error {
+	if sc.Chain != nil {
+		return sc.Chain.OnEach(install)
+	}
+	if sc.Group != nil {
+		return sc.Group.OnEach(install)
+	}
+	return install(sc.Primary)
+}
+
+// --- E1: connection setup time ----------------------------------------------
+
+// ConnSetupResult reports experiment E1.
+type ConnSetupResult struct {
+	Mode   Mode
+	N      int
+	Median time.Duration
+	Max    time.Duration
+	Min    time.Duration
+}
+
+// ConnectionSetup measures the client-observed connect() latency over n
+// sequential connections with warm ARP caches (paper section 9, first
+// measurement).
+func ConnectionSetup(mode Mode, n int) (ConnSetupResult, error) {
+	var d metrics.Durations
+	for i := range n {
+		sc, err := scenario(mode, int64(1000+i), benchPort)
+		if err != nil {
+			return ConnSetupResult{}, err
+		}
+		if err := installOnServers(sc, func(h *netstack.Host) error {
+			_, err := apps.NewSinkServer(h.TCP(), benchPort)
+			return err
+		}); err != nil {
+			return ConnSetupResult{}, err
+		}
+		sc.Start()
+		// Let heartbeats settle so detector traffic is steady-state.
+		if err := sc.Run(5 * time.Millisecond); err != nil {
+			return ConnSetupResult{}, err
+		}
+		start := sc.Now()
+		conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
+		if err != nil {
+			return ConnSetupResult{}, err
+		}
+		established := time.Duration(0)
+		conn.OnEstablished(func() { established = sc.Now() })
+		if err := sc.RunUntil(func() bool { return established > 0 }, start+5*time.Second); err != nil {
+			return ConnSetupResult{}, fmt.Errorf("connection %d: %w", i, err)
+		}
+		d.Add(established - start)
+		conn.Abort()
+	}
+	return ConnSetupResult{Mode: mode, N: n, Median: d.Median(), Max: d.Max(), Min: d.Min()}, nil
+}
+
+// --- E2: Figure 3, client-to-server send time --------------------------------
+
+// TransferPoint is one curve point of Figures 3 and 4.
+type TransferPoint struct {
+	Size   int64
+	Median time.Duration
+}
+
+// ClientToServerSend measures, per message size, the time for the client
+// application to pass a message to the stack (the paper's Figure 3): "the
+// send call returns when the application has passed the last byte to the
+// stack, not when the last byte has been put on the wire."
+func ClientToServerSend(mode Mode, sizes []int64, reps int) ([]TransferPoint, error) {
+	out := make([]TransferPoint, 0, len(sizes))
+	for _, size := range sizes {
+		var d metrics.Durations
+		for rep := range reps {
+			sc, err := scenario(mode, int64(2000+rep), benchPort)
+			if err != nil {
+				return nil, err
+			}
+			if err := installOnServers(sc, func(h *netstack.Host) error {
+				_, err := apps.NewSinkServer(h.TCP(), benchPort)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			sc.Start()
+			tr, err := apps.NewBulkSendPaced(sc.Client.TCP(), sc.Sched,
+				sc.ServiceAddr(), benchPort, size, SendPacing)
+			if err != nil {
+				return nil, err
+			}
+			if err := sc.RunUntil(func() bool { return tr.Done || tr.Err != nil },
+				10*time.Minute); err != nil {
+				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, err)
+			}
+			if tr.Err != nil {
+				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, tr.Err)
+			}
+			d.Add(tr.SendDone - tr.Established)
+		}
+		out = append(out, TransferPoint{Size: size, Median: d.Median()})
+	}
+	return out, nil
+}
+
+// --- E3: Figure 4, server-to-client transfer ---------------------------------
+
+// ServerToClientTransfer measures, per reply size, the time from the client
+// starting to send a 4-byte request until it receives the last byte of the
+// reply (the paper's Figure 4).
+func ServerToClientTransfer(mode Mode, sizes []int64, reps int) ([]TransferPoint, error) {
+	out := make([]TransferPoint, 0, len(sizes))
+	for _, size := range sizes {
+		var d metrics.Durations
+		for rep := range reps {
+			sc, err := scenario(mode, int64(3000+rep), benchPort)
+			if err != nil {
+				return nil, err
+			}
+			if err := installOnServers(sc, func(h *netstack.Host) error {
+				_, err := apps.NewReqReplyServer(h.TCP(), benchPort)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			sc.Start()
+			cl, err := apps.NewReqReplyClient(sc.Client.TCP(), sc.Sched,
+				sc.ServiceAddr(), benchPort)
+			if err != nil {
+				return nil, err
+			}
+			var elapsed time.Duration
+			done := false
+			cl.Request(size, func(e time.Duration) {
+				elapsed = e
+				done = true
+			})
+			if err := sc.RunUntil(func() bool { return done }, 10*time.Minute); err != nil {
+				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, err)
+			}
+			d.Add(elapsed)
+			cl.Conn.Abort()
+		}
+		out = append(out, TransferPoint{Size: size, Median: d.Median()})
+	}
+	return out, nil
+}
+
+// --- E4: Figure 5, stream rates ----------------------------------------------
+
+// RateResult reports experiment E4 for one mode.
+type RateResult struct {
+	Mode       Mode
+	Bytes      int64
+	SendKBps   float64 // client-to-server
+	RecvKBps   float64 // server-to-client
+	SendElapse time.Duration
+	RecvElapse time.Duration
+}
+
+// StreamRates measures sustained send and receive rates with streams of
+// total bytes (the paper's Figure 5 uses 100 MBytes).
+func StreamRates(mode Mode, total int64) (RateResult, error) {
+	return streamRates(mode, total, nil)
+}
+
+// streamRates is StreamRates with an optional scenario-option mutator,
+// which the ablation experiment uses to toggle individual design choices.
+func streamRates(mode Mode, total int64, mutate func(*tcpfailover.Options)) (RateResult, error) {
+	res := RateResult{Mode: mode, Bytes: total}
+
+	build := func(seed int64) (*tcpfailover.Scenario, error) {
+		opts := tcpfailover.LANOptions()
+		opts.Seed = seed
+		opts.Unreplicated = mode == Standard
+		opts.ServerPorts = []uint16{benchPort}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		return tcpfailover.NewScenario(opts)
+	}
+
+	// Send direction: client -> server.
+	sc, err := build(4000)
+	if err != nil {
+		return res, err
+	}
+	var sink *apps.SinkServer
+	if err := installOnServers(sc, func(h *netstack.Host) error {
+		s, err := apps.NewSinkServer(h.TCP(), benchPort)
+		if sink == nil {
+			sink = s
+		}
+		return err
+	}); err != nil {
+		return res, err
+	}
+	sc.Start()
+	tr, err := apps.NewBulkSend(sc.Client.TCP(), sc.Sched, sc.ServiceAddr(), benchPort, total)
+	if err != nil {
+		return res, err
+	}
+	if err := sc.RunUntil(func() bool { return sink.Received >= total || tr.Err != nil },
+		24*time.Hour); err != nil {
+		return res, fmt.Errorf("send stream: %w", err)
+	}
+	if tr.Err != nil {
+		return res, fmt.Errorf("send stream: %w", tr.Err)
+	}
+	// Rate over the whole transfer: connection established until the server
+	// application has consumed the last byte.
+	res.SendElapse = sc.Now() - tr.Established
+	res.SendKBps = metrics.RateKBps(total, res.SendElapse)
+
+	// Receive direction: server -> client.
+	sc2, err := build(4001)
+	if err != nil {
+		return res, err
+	}
+	if err := installOnServers(sc2, func(h *netstack.Host) error {
+		_, err := apps.NewPushServer(h.TCP(), benchPort, total)
+		return err
+	}); err != nil {
+		return res, err
+	}
+	sc2.Start()
+	conn, err := sc2.Client.TCP().Dial(sc2.ServiceAddr(), benchPort)
+	if err != nil {
+		return res, err
+	}
+	recv := apps.NewReceiver(conn, sc2.Sched)
+	var established2 time.Duration
+	conn.OnEstablished(func() { established2 = sc2.Now() })
+	if err := sc2.RunUntil(func() bool { return recv.EOF }, 24*time.Hour); err != nil {
+		return res, fmt.Errorf("recv stream: %w", err)
+	}
+	if recv.BadAt >= 0 {
+		return res, fmt.Errorf("recv stream corrupted at %d", recv.BadAt)
+	}
+	res.RecvElapse = recv.EOFAt - established2
+	res.RecvKBps = metrics.RateKBps(recv.Received, res.RecvElapse)
+	return res, nil
+}
+
+// --- E5: Figure 6, FTP over a WAN ---------------------------------------------
+
+// FTPPoint is one row of the paper's Figure 6.
+type FTPPoint struct {
+	Name    string
+	FileKB  float64
+	GetKBps float64
+	PutKBps float64
+}
+
+// FTPRates transfers the paper's file set over the WAN profile and reports
+// median get and put rates as indicated by the FTP client.
+func FTPRates(mode Mode, reps int) ([]FTPPoint, error) {
+	files := apps.DefaultFTPFiles()
+	names := files.Names()
+	getRates := make(map[string][]float64, len(names))
+	putRates := make(map[string][]float64, len(names))
+
+	for rep := range reps {
+		opts := tcpfailover.WANOptions()
+		opts.Seed = int64(5000 + rep)
+		opts.Unreplicated = mode == Standard
+		opts.ServerPorts = []uint16{apps.FTPControlPort, apps.FTPDataPort}
+		sc, err := tcpfailover.NewScenario(opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := installOnServers(sc, func(h *netstack.Host) error {
+			_, err := apps.NewFTPServer(h.TCP(), files)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		sc.Start()
+		cl, err := apps.NewFTPClient(sc.Client.TCP(), sc.Sched,
+			tcpfailover.ClientAddr, sc.ServiceAddr())
+		if err != nil {
+			return nil, err
+		}
+		cl.PutPacing = FTPPutPacing
+		cl.Login(nil)
+		for _, name := range names {
+			n := name
+			cl.Get(n, func(r apps.FTPResult) {
+				if r.Err == nil && r.BadAt < 0 {
+					getRates[n] = append(getRates[n], r.RateKBps)
+				}
+			})
+			cl.Put("up-"+n, files[n], func(r apps.FTPResult) {
+				if r.Err == nil {
+					putRates[n] = append(putRates[n], r.RateKBps)
+				}
+			})
+		}
+		done := false
+		cl.Done = func() { done = true }
+		cl.Quit()
+		if err := sc.RunUntil(func() bool { return done }, 24*time.Hour); err != nil {
+			return nil, fmt.Errorf("ftp rep %d: %w", rep, err)
+		}
+	}
+
+	out := make([]FTPPoint, 0, len(names))
+	for _, name := range names {
+		out = append(out, FTPPoint{
+			Name:    name,
+			FileKB:  float64(files[name]) / 1024.0,
+			GetKBps: medianFloat(getRates[name]),
+			PutKBps: medianFloat(putRates[name]),
+		})
+	}
+	return out, nil
+}
+
+func medianFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[(len(s)-1)/2]
+}
+
+// --- Ablations: design choices toggled one at a time ---------------------------
+
+// AblationRow is one configuration's stream rates.
+type AblationRow struct {
+	Name     string
+	SendKBps float64
+	RecvKBps float64
+}
+
+// Ablation reruns the Figure 5 workload with individual design choices
+// switched off, quantifying their contribution (DESIGN.md section 5).
+func Ablation(total int64) ([]AblationRow, error) {
+	configs := []struct {
+		name   string
+		mode   Mode
+		mutate func(*tcpfailover.Options)
+	}{
+		{"standard TCP (reference)", Standard, nil},
+		{"failover (default)", Failover, nil},
+		{"failover, free bridge CPU", Failover, func(o *tcpfailover.Options) {
+			o.HostProfile = netstack.DefaultProfile()
+			o.HostProfile.BridgeDelay = time.Microsecond
+			o.HostProfile.BridgeInbound = 0
+		}},
+		{"failover, full-duplex LAN (no collisions)", Failover, func(o *tcpfailover.Options) {
+			o.ServerLAN.HalfDuplex = false
+			o.ServerLAN.CollisionProb = 0
+			o.ClientLink.HalfDuplex = false
+			o.ClientLink.CollisionProb = 0
+		}},
+		{"three-way daisy chain (extension)", Failover, func(o *tcpfailover.Options) {
+			o.Backups = 2
+		}},
+	}
+	out := make([]AblationRow, 0, len(configs))
+	for _, cfg := range configs {
+		r, err := streamRates(cfg.mode, total, cfg.mutate)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", cfg.name, err)
+		}
+		out = append(out, AblationRow{Name: cfg.name, SendKBps: r.SendKBps, RecvKBps: r.RecvKBps})
+	}
+	return out, nil
+}
+
+// --- E6 (extension): failover latency ------------------------------------------
+
+// FailoverResult reports the extension experiment: client-observed service
+// interruption when the primary crashes mid-stream.
+type FailoverResult struct {
+	N           int
+	StallMedian time.Duration
+	StallMax    time.Duration
+	AllIntact   bool // every byte delivered exactly once, in order
+}
+
+// FailoverLatency crashes the primary at n different points during a
+// server-to-client stream and measures the longest gap in the client's
+// received-byte timeline around the failure.
+func FailoverLatency(n int) (FailoverResult, error) {
+	const total = 2 * 1024 * 1024
+	var stalls metrics.Durations
+	intact := true
+	for i := range n {
+		opts := tcpfailover.LANOptions()
+		opts.Seed = int64(6000 + i)
+		opts.ServerPorts = []uint16{benchPort}
+		sc, err := tcpfailover.NewScenario(opts)
+		if err != nil {
+			return FailoverResult{}, err
+		}
+		if err := sc.Group.OnEach(func(h *netstack.Host) error {
+			_, err := apps.NewPushServer(h.TCP(), benchPort, total)
+			return err
+		}); err != nil {
+			return FailoverResult{}, err
+		}
+		sc.Start()
+		conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
+		if err != nil {
+			return FailoverResult{}, err
+		}
+		recv := apps.NewReceiver(conn, sc.Sched)
+
+		crashAt := int64(total/10) + int64(i)*int64(total/(2*n)) // spread crash points
+		var lastProgress, maxGap time.Duration
+		var prevReceived int64
+		crashed := false
+		for !recv.EOF {
+			if !sc.Sched.Step() {
+				return FailoverResult{}, fmt.Errorf("run %d: queue empty (received=%d)", i, recv.Received)
+			}
+			if recv.Received != prevReceived {
+				if lastProgress > 0 && crashed {
+					if gap := sc.Now() - lastProgress; gap > maxGap {
+						maxGap = gap
+					}
+				}
+				prevReceived = recv.Received
+				lastProgress = sc.Now()
+			}
+			if !crashed && recv.Received >= crashAt {
+				crashed = true
+				sc.Group.CrashPrimary()
+				lastProgress = sc.Now()
+			}
+			if sc.Now() > time.Hour {
+				return FailoverResult{}, fmt.Errorf("run %d: timeout (received=%d)", i, recv.Received)
+			}
+		}
+		if recv.BadAt >= 0 || recv.Received != total {
+			intact = false
+		}
+		stalls.Add(maxGap)
+	}
+	return FailoverResult{
+		N:           n,
+		StallMedian: stalls.Median(),
+		StallMax:    stalls.Max(),
+		AllIntact:   intact,
+	}, nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/trace"
+)
+
+// TestDebugStream reproduces stream-rate runs with an optional packet
+// trace (TCPFAILOVER_TRACE=1).
+func TestDebugStream(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to debug")
+	}
+	sc, err := scenario(Standard, 4000, benchPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := installOnServers(sc, func(h *netstack.Host) error {
+		_, err := apps.NewSinkServer(h.TCP(), benchPort)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	tr := trace.New(os.Stderr)
+	tr.Attach(sc.Client)
+	tr.Attach(sc.Primary)
+	bt, err := apps.NewBulkSend(sc.Client.TCP(), sc.Sched, sc.ServiceAddr(), benchPort, 1024*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	bt.OnClosed = func(error) { closed = true }
+	err = sc.RunUntil(func() bool { return closed }, 10*time.Minute)
+	t.Logf("err=%v now=%v sent=%d done=%v state=%v", err, sc.Now(), bt.Sent, bt.Done, bt.Conn.State())
+	_ = tcpfailover.ClientAddr
+}
+
+func TestDebugStreamRates(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to debug")
+	}
+	r, err := StreamRates(Standard, 16*1024*1024)
+	t.Logf("r=%+v err=%v", r, err)
+}
+
+func TestDebugReqReply(t *testing.T) {
+	if os.Getenv("TCPFAILOVER_TRACE") == "" {
+		t.Skip("set TCPFAILOVER_TRACE=1 to debug")
+	}
+	sc, err := scenario(Standard, 3000, benchPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := installOnServers(sc, func(h *netstack.Host) error {
+		_, err := apps.NewReqReplyServer(h.TCP(), benchPort)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	tr := trace.New(os.Stderr)
+	tr.Attach(sc.Client)
+	tr.Attach(sc.Primary)
+	cl, err := apps.NewReqReplyClient(sc.Client.TCP(), sc.Sched, sc.ServiceAddr(), benchPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	var elapsed time.Duration
+	cl.Request(4096, func(e time.Duration) { elapsed = e; done = true })
+	_ = sc.RunUntil(func() bool { return done }, time.Minute)
+	t.Logf("elapsed=%v", elapsed)
+}

@@ -1,0 +1,84 @@
+// Package checksum implements the Internet checksum (RFC 1071) together
+// with the incremental-update technique (RFC 1624) that the paper's bridges
+// rely on: "it is not necessary to recompute the checksum from scratch.
+// Instead, we subtract the original bytes from the checksum, and add the new
+// bytes to the checksum" (paper, section 3.1).
+package checksum
+
+// Sum computes the Internet checksum over the concatenation of the given
+// byte slices: the one's-complement of the one's-complement sum of all
+// 16-bit words. A trailing odd byte is padded with zero, as RFC 1071
+// specifies; this is handled correctly even when the odd byte falls at a
+// slice boundary.
+func Sum(chunks ...[]byte) uint16 {
+	var sum uint32
+	odd := false
+	var carryByte byte
+	for _, b := range chunks {
+		i := 0
+		if odd && len(b) > 0 {
+			sum += uint32(carryByte)<<8 | uint32(b[0])
+			i = 1
+			odd = false
+		}
+		n := len(b)
+		for ; i+1 < n; i += 2 {
+			sum += uint32(b[i])<<8 | uint32(b[i+1])
+		}
+		if i < n {
+			carryByte = b[i]
+			odd = true
+		}
+	}
+	if odd {
+		sum += uint32(carryByte) << 8
+	}
+	return ^fold(sum)
+}
+
+// fold reduces a 32-bit partial sum to 16 bits with end-around carry.
+func fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum)
+}
+
+// Update returns the checksum that results from replacing the 16-bit word
+// old with the 16-bit word new in data whose checksum was oldSum, using the
+// RFC 1624 equation 3 form (HC' = ~(~HC + ~m + m')). Both words must be
+// aligned on the same even/odd boundary they occupied in the original data.
+func Update(oldSum, oldWord, newWord uint16) uint16 {
+	sum := uint32(^oldSum&0xffff) + uint32(^oldWord&0xffff) + uint32(newWord)
+	return ^fold(sum)
+}
+
+// UpdateBytes incrementally adjusts oldSum for an in-place replacement of
+// oldBytes with newBytes at an even (16-bit aligned) offset. The slices may
+// have different lengths; odd-length slices are zero-padded, matching how
+// they contribute to a full recomputation when they terminate the data.
+func UpdateBytes(oldSum uint16, oldBytes, newBytes []byte) uint16 {
+	sum := uint32(^oldSum & 0xffff)
+	for i := 0; i < len(oldBytes); i += 2 {
+		w := uint32(oldBytes[i]) << 8
+		if i+1 < len(oldBytes) {
+			w |= uint32(oldBytes[i+1])
+		}
+		sum += uint32(^uint16(w)) & 0xffff
+	}
+	for i := 0; i < len(newBytes); i += 2 {
+		w := uint32(newBytes[i]) << 8
+		if i+1 < len(newBytes) {
+			w |= uint32(newBytes[i+1])
+		}
+		sum += w
+	}
+	return ^fold(sum)
+}
+
+// UpdateUint32 incrementally adjusts oldSum for replacing a 32-bit value
+// (e.g. an IPv4 address or TCP sequence number) at an even offset.
+func UpdateUint32(oldSum uint16, oldVal, newVal uint32) uint16 {
+	sum := Update(oldSum, uint16(oldVal>>16), uint16(newVal>>16))
+	return Update(sum, uint16(oldVal), uint16(newVal))
+}

@@ -1,0 +1,129 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumKnownVector(t *testing.T) {
+	// RFC 1071 example data: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2 before
+	// complement (checksum = ^0xddf2 = 0x220d).
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Sum(b); got != 0x220d {
+		t.Errorf("Sum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestSumOddLength(t *testing.T) {
+	// Odd trailing byte is padded with zero.
+	if got, want := Sum([]byte{0xab}), ^uint16(0xab00); got != want {
+		t.Errorf("Sum odd = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0xffff {
+		t.Errorf("Sum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+// TestSumSplitInvariance: summing data split across chunks at any boundary
+// equals summing it whole — including odd split points, which exercise the
+// carry-byte path.
+func TestSumSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(data []byte, splitRaw uint) bool {
+		if len(data) == 0 {
+			return true
+		}
+		split := int(splitRaw % uint(len(data)))
+		whole := Sum(data)
+		parts := Sum(data[:split], data[split:])
+		return whole == parts
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifyEmbedded: embedding the checksum in the data makes the total
+// sum verify to zero, the property receivers rely on.
+func TestVerifyEmbedded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for range 200 {
+		n := 8 + rng.Intn(100)*2
+		b := make([]byte, n)
+		rng.Read(b)
+		b[4], b[5] = 0, 0 // checksum field
+		cs := Sum(b)
+		b[4], b[5] = byte(cs>>8), byte(cs)
+		if Sum(b) != 0 {
+			t.Fatalf("embedded checksum does not verify (n=%d)", n)
+		}
+	}
+}
+
+// TestUpdateEquivalence: the incremental single-word update matches a full
+// recomputation — the property the paper's bridges rely on (section 3.1).
+func TestUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for range 500 {
+		n := 2 + rng.Intn(50)*2
+		b := make([]byte, n)
+		rng.Read(b)
+		old := Sum(b)
+		off := rng.Intn(n/2) * 2
+		oldWord := uint16(b[off])<<8 | uint16(b[off+1])
+		newWord := uint16(rng.Intn(65536))
+		b[off], b[off+1] = byte(newWord>>8), byte(newWord)
+		want := Sum(b)
+		if got := Update(old, oldWord, newWord); got != want {
+			t.Fatalf("Update = %#04x, full recompute = %#04x", got, want)
+		}
+	}
+}
+
+// TestUpdateBytesEquivalence: replacing an even-aligned byte range
+// incrementally matches full recomputation, including length changes.
+func TestUpdateBytesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for range 500 {
+		pre := make([]byte, rng.Intn(20)*2)
+		oldMid := make([]byte, rng.Intn(20)*2)
+		newMid := make([]byte, rng.Intn(20)*2)
+		post := make([]byte, rng.Intn(20)*2)
+		for _, b := range [][]byte{pre, oldMid, newMid, post} {
+			rng.Read(b)
+		}
+		oldSum := Sum(pre, oldMid, post)
+		want := Sum(pre, newMid, post)
+		if got := UpdateBytes(oldSum, oldMid, newMid); got != want {
+			t.Fatalf("UpdateBytes = %#04x, want %#04x (lens %d->%d)",
+				got, want, len(oldMid), len(newMid))
+		}
+	}
+}
+
+// TestUpdateUint32Equivalence covers the address/sequence-number patches.
+func TestUpdateUint32Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for range 500 {
+		n := 4 + rng.Intn(50)*2
+		b := make([]byte, n)
+		rng.Read(b)
+		old := Sum(b)
+		off := rng.Intn((n-4)/2+1) * 2
+		oldVal := uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+		newVal := rng.Uint32()
+		b[off] = byte(newVal >> 24)
+		b[off+1] = byte(newVal >> 16)
+		b[off+2] = byte(newVal >> 8)
+		b[off+3] = byte(newVal)
+		want := Sum(b)
+		if got := UpdateUint32(old, oldVal, newVal); got != want {
+			t.Fatalf("UpdateUint32 = %#04x, want %#04x", got, want)
+		}
+	}
+}

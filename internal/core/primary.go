@@ -1,0 +1,798 @@
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// PrimaryConfig tunes the primary bridge.
+type PrimaryConfig struct {
+	// VerifyReplicaOutput compares the matched bytes from the two replicas
+	// and counts divergences (a replica-determinism check the paper assumes
+	// rather than enforces). The secondary's bytes win, since the client's
+	// sequence numbers are synchronized to the secondary.
+	VerifyReplicaOutput bool
+	// DefaultMSS is used when a SYN carries no MSS option. Default 536.
+	DefaultMSS uint16
+	// GCLinger keeps closed-connection records around briefly before
+	// deletion. Default 0 (delete immediately, as the paper describes; the
+	// bridge synthesizes ACKs for late FINs afterward).
+	GCLinger time.Duration
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.DefaultMSS == 0 {
+		c.DefaultMSS = 536
+	}
+	return c
+}
+
+// PrimaryStats counts the primary bridge's work.
+type PrimaryStats struct {
+	SegmentsFromPrimary      int64
+	SegmentsFromSecondary    int64
+	SegmentsToClient         int64
+	BytesMatched             int64
+	EmptyAcks                int64
+	RetransmissionsForwarded int64
+	Divergences              int64
+	LateFinAcks              int64
+	ConnsOpened              int64
+	ConnsClosed              int64
+}
+
+// pconn is the primary bridge's per-connection state: the two output
+// queues, the sequence-number offset, and the acknowledgment/window
+// bookkeeping of sections 3 and 7 of the paper.
+type pconn struct {
+	key             TupleKey
+	serverInitiated bool
+
+	// Establishment.
+	seqPInit, seqSInit tcp.Seq
+	pInitSet, sInitSet bool
+	delta              tcp.Seq // seqP,init - seqS,init
+	deltaKnown         bool
+	mssP, mssS         uint16
+	synWinP, synWinS   uint16
+	combinedSynSent    bool
+
+	// Server-to-client stream, in the secondary's sequence space.
+	sndMax       tcp.Seq // next byte to release to the client
+	pq, sq       *byteQueue
+	pFin, sFin   tcp.Seq
+	pFinSet      bool
+	sFinSet      bool
+	finSent      bool
+	finSeq       tcp.Seq
+	finAckedByCl bool
+
+	// Client-stream acknowledgment state from each replica.
+	ackP, ackS       tcp.Seq
+	ackPSet, ackSSet bool
+	winP, winS       uint16
+	lastAckSent      tcp.Seq
+	lastAckValid     bool
+	lastWinSent      uint16
+
+	// Termination bookkeeping (section 8).
+	clientFinSeen bool
+	clientFinEnd  tcp.Seq // sequence number just past the client's FIN
+}
+
+func (c *pconn) effMSS(def uint16) int {
+	m := c.mssP
+	if c.mssS != 0 && (m == 0 || c.mssS < m) {
+		m = c.mssS
+	}
+	if m == 0 {
+		m = def
+	}
+	return int(m)
+}
+
+// PrimaryBridge is the bridge sublayer on the primary server P.
+type PrimaryBridge struct {
+	host   *netstack.Host
+	sched  *sim.Scheduler
+	aP, aS ipv4.Addr
+	sel    *Selector
+	cfg    PrimaryConfig
+
+	conns    map[TupleKey]*pconn
+	degraded bool // after secondary failure (section 6)
+
+	// emit transports a finished client-bound segment. The default sends
+	// it directly; a daisy-chained middle server overrides it to divert
+	// the merged stream to its own upstream primary.
+	emit func(client ipv4.Addr, raw []byte)
+
+	stats PrimaryStats
+	// OnDivergence, if set, is called when replica outputs differ.
+	OnDivergence func(key TupleKey, seq tcp.Seq)
+}
+
+// NewPrimaryBridge installs the bridge on the primary host.
+func NewPrimaryBridge(host *netstack.Host, primaryAddr, secondaryAddr ipv4.Addr, sel *Selector, cfg PrimaryConfig) *PrimaryBridge {
+	b := NewPrimaryBridgeCore(host, primaryAddr, secondaryAddr, sel, cfg)
+	host.SetInboundHook(b.Inbound)
+	host.SetOutboundHook(b.Outbound)
+	return b
+}
+
+// NewPrimaryBridgeCore builds the bridge without installing its hooks on
+// the host; a composing bridge (the daisy chain's middle server) wires the
+// Inbound/Outbound handlers itself.
+func NewPrimaryBridgeCore(host *netstack.Host, primaryAddr, secondaryAddr ipv4.Addr, sel *Selector, cfg PrimaryConfig) *PrimaryBridge {
+	b := &PrimaryBridge{
+		host:  host,
+		sched: host.Scheduler(),
+		aP:    primaryAddr,
+		aS:    secondaryAddr,
+		sel:   sel,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[TupleKey]*pconn),
+	}
+	b.emit = func(client ipv4.Addr, raw []byte) {
+		_ = b.host.SendIPFast(b.aP, client, ipv4.ProtoTCP, raw)
+	}
+	return b
+}
+
+// Inbound is the bridge's inbound interposition handler (exported for
+// composition; NewPrimaryBridge installs it automatically).
+func (b *PrimaryBridge) Inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
+	return b.inbound(ifIndex, hdr, payload)
+}
+
+// Outbound is the bridge's outbound interposition handler.
+func (b *PrimaryBridge) Outbound(src, dst ipv4.Addr, segment []byte) bool {
+	return b.outbound(src, dst, segment)
+}
+
+// SetEmitFunc overrides the transport for finished client-bound segments.
+func (b *PrimaryBridge) SetEmitFunc(f func(client ipv4.Addr, raw []byte)) { b.emit = f }
+
+// SetLocalAddr re-keys the bridge's client-facing address; a promoted
+// middle server switches to the failed head's address during takeover.
+func (b *PrimaryBridge) SetLocalAddr(a ipv4.Addr) { b.aP = a }
+
+// LocalAddr returns the bridge's client-facing address.
+func (b *PrimaryBridge) LocalAddr() ipv4.Addr { return b.aP }
+
+// SetMatchingPeer re-points the bridge at the replica now feeding it (used
+// when a daisy chain loses its middle and the tail attaches directly).
+func (b *PrimaryBridge) SetMatchingPeer(a ipv4.Addr) { b.aS = a }
+
+// Stats returns a copy of the bridge counters.
+func (b *PrimaryBridge) Stats() PrimaryStats { return b.stats }
+
+// Degraded reports whether the bridge has switched to single-server
+// operation after a secondary failure.
+func (b *PrimaryBridge) Degraded() bool { return b.degraded }
+
+// Conns returns the number of tracked connections.
+func (b *PrimaryBridge) Conns() int { return len(b.conns) }
+
+func (b *PrimaryBridge) conn(key TupleKey) *pconn {
+	c, ok := b.conns[key]
+	if !ok {
+		c = &pconn{key: key}
+		b.conns[key] = c
+		b.stats.ConnsOpened++
+	}
+	return c
+}
+
+// --- outbound: segments from the primary's own TCP layer --------------------
+
+func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
+	key := TupleKey{PeerAddr: dst, PeerPort: tcp.RawDstPort(segment), LocalPort: tcp.RawSrcPort(segment)}
+	if !b.sel.Match(key) {
+		return false
+	}
+	b.stats.SegmentsFromPrimary++
+	flags := tcp.RawFlags(segment)
+	c, exists := b.conns[key]
+	if !exists {
+		// Only a SYN may create bridge state (a server-initiated
+		// connection, section 7.2). Anything else for an unknown
+		// connection is post-cleanup traffic: let a refusal RST through
+		// unchanged, swallow the rest.
+		if !flags.Has(tcp.FlagSYN) {
+			if flags.Has(tcp.FlagRST) && flags.Has(tcp.FlagACK) {
+				_ = b.host.SendIPFast(b.aP, dst, ipv4.ProtoTCP, segment)
+			}
+			return true
+		}
+		c = b.conn(key)
+	}
+
+	switch {
+	case flags.Has(tcp.FlagSYN):
+		seg, err := tcp.Unmarshal(src, dst, segment, false)
+		if err != nil {
+			return true
+		}
+		if !c.pInitSet {
+			c.pInitSet = true
+			c.seqPInit = seg.Seq
+			if mss, ok := seg.MSS(); ok {
+				c.mssP = mss
+			} else {
+				c.mssP = b.cfg.DefaultMSS
+			}
+			c.synWinP = seg.Window
+		}
+		c.winP = seg.Window
+		if flags.Has(tcp.FlagACK) {
+			c.ackP = seg.Ack
+			c.ackPSet = true
+		} else {
+			c.serverInitiated = true
+		}
+		if b.degraded && !c.sInitSet {
+			b.adoptPrimaryAsSecondary(c)
+		}
+		b.maybeSendCombinedSyn(c)
+		return true
+
+	case flags.Has(tcp.FlagRST):
+		b.forwardRST(c, segment, true)
+		return true
+
+	default:
+		if !c.deltaKnown {
+			return true // cannot translate yet; TCP will retransmit
+		}
+		sSeq := tcp.RawSeq(segment) - c.delta
+		if flags.Has(tcp.FlagACK) {
+			c.ackP = tcp.RawAck(segment)
+			c.ackPSet = true
+		}
+		c.winP = tcp.RawWindow(segment)
+		if b.degraded {
+			b.forwardDegraded(c, sSeq, segment, flags)
+			return true
+		}
+		payload := tcp.RawPayload(segment)
+		b.ingestServerSegment(c, sSeq, payload, flags, true)
+		b.pump(c)
+		return true
+	}
+}
+
+// --- inbound: datagrams addressed to aP --------------------------------------
+
+func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
+	if len(payload) < tcp.HeaderLen {
+		return netstack.VerdictPass, hdr, payload
+	}
+	if hdr.Dst != b.aP {
+		// Segments diverted to another address this host owns (a chain
+		// promotion in flight) still belong to the demultiplexer; anything
+		// else is not ours.
+		if _, _, ok := tcp.StripOrigDstOption(payload); ok && b.host.Owns(hdr.Dst) {
+			if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
+				if !b.degraded {
+					b.fromSecondary(orig, stripped)
+				}
+				return netstack.VerdictDrop, hdr, payload
+			}
+		}
+		return netstack.VerdictPass, hdr, payload
+	}
+	if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
+		// Demultiplexer: a diverted segment from the secondary.
+		if !b.degraded {
+			b.fromSecondary(orig, stripped)
+		}
+		return netstack.VerdictDrop, hdr, payload
+	}
+
+	// A client segment.
+	key := TupleKey{PeerAddr: hdr.Src, PeerPort: tcp.RawSrcPort(payload), LocalPort: tcp.RawDstPort(payload)}
+	if !b.sel.Match(key) {
+		return netstack.VerdictPass, hdr, payload
+	}
+	flags := tcp.RawFlags(payload)
+	c, exists := b.conns[key]
+	if !exists {
+		switch {
+		case flags.Has(tcp.FlagSYN) && !flags.Has(tcp.FlagACK):
+			c = b.conn(key) // new client-initiated connection
+			_ = c
+		case flags.Has(tcp.FlagFIN):
+			// Retransmitted FIN after the bridge deleted the connection:
+			// acknowledge it directly (section 8).
+			b.synthesizeAck(key.PeerAddr, key.PeerPort, b.aP, key.LocalPort,
+				tcp.RawAck(payload),
+				tcp.RawSeq(payload).Add(len(tcp.RawPayload(payload))+1))
+			b.stats.LateFinAcks++
+			return netstack.VerdictDrop, hdr, payload
+		}
+		return netstack.VerdictPass, hdr, payload
+	}
+
+	if flags.Has(tcp.FlagACK) && c.deltaKnown {
+		ackS := tcp.RawAck(payload)
+		if c.finSent && ackS.Greater(c.finSeq) {
+			c.finAckedByCl = true
+		}
+		// Translate the acknowledgment into the primary's sequence space so
+		// P's TCP layer recognizes it. (The client acknowledges sequence
+		// numbers in the secondary's space.)
+		tcp.SetRawAck(payload, ackS+c.delta)
+	}
+	if flags.Has(tcp.FlagFIN) {
+		c.clientFinSeen = true
+		c.clientFinEnd = tcp.RawSeq(payload).Add(len(tcp.RawPayload(payload)) + 1)
+	}
+	if flags.Has(tcp.FlagRST) {
+		// Both replicas' TCP layers observe the reset; nothing remains for
+		// the bridge to reconcile.
+		b.removeConn(c)
+		return netstack.VerdictPass, hdr, payload
+	}
+	if n := len(tcp.RawPayload(payload)); n > 0 && c.combinedSynSent && c.lastAckValid {
+		if tcp.RawSeq(payload).Add(n).Leq(c.minAck(b.degraded)) {
+			// The client retransmits data both replicas have already
+			// acknowledged — it missed the acknowledgment. The replicas'
+			// duplicate ACKs would not advance the combined minimum, so the
+			// bridge answers directly (the duplicate-ACK analogue of the
+			// section 4 retransmission forwarding).
+			b.stats.EmptyAcks++
+			b.emitToClient(c, &tcp.Segment{
+				Seq:    c.sndMax,
+				Ack:    c.minAck(b.degraded),
+				Flags:  tcp.FlagACK,
+				Window: c.minWin(b.degraded),
+			})
+		}
+	}
+	b.maybeGC(c)
+	return netstack.VerdictPass, hdr, payload
+}
+
+// forwardDegraded implements section 6 step 3: after the secondary fails,
+// segments from the primary's TCP layer are no longer delayed and carry the
+// primary's own acknowledgment and window, but the bridge must continue to
+// subtract Delta-seq from outgoing sequence numbers forever, because the
+// client's TCP layer is synchronized to the secondary's sequence space.
+func (b *PrimaryBridge) forwardDegraded(c *pconn, sSeq tcp.Seq, segment []byte, flags tcp.Flags) {
+	tcp.SetRawSeq(segment, sSeq)
+	end := sSeq.Add(len(tcp.RawPayload(segment)))
+	if flags.Has(tcp.FlagFIN) {
+		end = end.Add(1)
+		if !c.finSent {
+			c.finSent = true
+			c.finSeq = end.Add(-1)
+		}
+	}
+	if end.Greater(c.sndMax) {
+		c.sndMax = end
+	}
+	if flags.Has(tcp.FlagACK) {
+		c.lastAckSent = tcp.RawAck(segment)
+		c.lastAckValid = true
+		c.lastWinSent = tcp.RawWindow(segment)
+	}
+	b.stats.SegmentsToClient++
+	b.emit(c.key.PeerAddr, segment)
+}
+
+// fromSecondary processes a diverted segment whose original destination was
+// orig (the client address).
+func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
+	b.stats.SegmentsFromSecondary++
+	key := TupleKey{PeerAddr: orig, PeerPort: tcp.RawDstPort(segment), LocalPort: tcp.RawSrcPort(segment)}
+	flags := tcp.RawFlags(segment)
+	c, exists := b.conns[key]
+	if !exists {
+		switch {
+		case flags.Has(tcp.FlagFIN) || len(tcp.RawPayload(segment)) > 0:
+			// The secondary retransmits data or its FIN because it missed
+			// the client's closing ACKs. The bridge only deletes its state
+			// once the client has acknowledged everything, so it answers
+			// these retransmissions on the client's behalf (section 8).
+			end := tcp.RawSeq(segment).Add(len(tcp.RawPayload(segment)))
+			if flags.Has(tcp.FlagFIN) {
+				end = end.Add(1)
+			}
+			b.synthesizeAck(orig, key.PeerPort, b.aS, key.LocalPort,
+				tcp.RawAck(segment), end)
+			b.stats.LateFinAcks++
+			return
+		case flags.Has(tcp.FlagSYN):
+			c = b.conn(key)
+		default:
+			// A delayed pure ACK: creating state for it would swallow
+			// subsequent retransmissions.
+			return
+		}
+	}
+
+	switch {
+	case flags.Has(tcp.FlagSYN):
+		seg, err := tcp.Unmarshal(b.aS, orig, segment, false)
+		if err != nil {
+			return
+		}
+		if !c.sInitSet {
+			c.sInitSet = true
+			c.seqSInit = seg.Seq
+			if mss, ok := seg.MSS(); ok {
+				c.mssS = mss
+			} else {
+				c.mssS = b.cfg.DefaultMSS
+			}
+			c.synWinS = seg.Window
+		}
+		c.winS = seg.Window
+		if flags.Has(tcp.FlagACK) {
+			c.ackS = seg.Ack
+			c.ackSSet = true
+		}
+		b.maybeSendCombinedSyn(c)
+
+	case flags.Has(tcp.FlagRST):
+		b.forwardRST(c, segment, false)
+
+	default:
+		if !c.deltaKnown {
+			return
+		}
+		if flags.Has(tcp.FlagACK) {
+			c.ackS = tcp.RawAck(segment)
+			c.ackSSet = true
+		}
+		c.winS = tcp.RawWindow(segment)
+		b.ingestServerSegment(c, tcp.RawSeq(segment), tcp.RawPayload(segment), flags, false)
+		b.pump(c)
+	}
+}
+
+// ingestServerSegment handles a data-bearing (or FIN-bearing) segment from
+// either replica, already expressed in the secondary's sequence space.
+func (b *PrimaryBridge) ingestServerSegment(c *pconn, sSeq tcp.Seq, payload []byte, flags tcp.Flags, fromPrimary bool) {
+	if flags.Has(tcp.FlagFIN) {
+		fin := sSeq.Add(len(payload))
+		if fromPrimary {
+			c.pFin, c.pFinSet = fin, true
+		} else {
+			c.sFin, c.sFinSet = fin, true
+		}
+	}
+	end := sSeq.Add(len(payload))
+	if flags.Has(tcp.FlagFIN) {
+		end = end.Add(1)
+	}
+	if (len(payload) > 0 || flags.Has(tcp.FlagFIN)) && end.Leq(c.sndMax) {
+		// A retransmission of bytes already released: the bridge receives
+		// only a single copy, so it must send it immediately (section 4).
+		b.stats.RetransmissionsForwarded++
+		out := &tcp.Segment{
+			Seq:     sSeq,
+			Ack:     c.minAck(b.degraded),
+			Flags:   tcp.FlagACK | tcp.FlagPSH,
+			Window:  c.minWin(b.degraded),
+			Payload: append([]byte(nil), payload...),
+		}
+		if flags.Has(tcp.FlagFIN) {
+			out.Flags |= tcp.FlagFIN
+		}
+		b.emitToClient(c, out)
+		return
+	}
+	if len(payload) > 0 {
+		q := c.sq
+		if fromPrimary {
+			q = c.pq
+		}
+		q.Insert(sSeq, payload)
+	}
+}
+
+// pump constructs new client segments from matching queued payload
+// (Figure 2) and forwards acknowledgment/window advances.
+func (b *PrimaryBridge) pump(c *pconn) {
+	if !c.deltaKnown {
+		return
+	}
+	mss := c.effMSS(b.cfg.DefaultMSS)
+	for {
+		pb := c.pq.Contiguous()
+		sb := c.sq.Contiguous()
+		n := min(len(pb), len(sb), mss)
+		if n > 0 {
+			if b.cfg.VerifyReplicaOutput && !bytes.Equal(pb[:n], sb[:n]) {
+				b.stats.Divergences++
+				if b.OnDivergence != nil {
+					b.OnDivergence(c.key, c.sndMax)
+				}
+			}
+			payload := append([]byte(nil), sb[:n]...)
+			seq := c.sndMax
+			c.pq.Advance(n)
+			c.sq.Advance(n)
+			c.sndMax = c.sndMax.Add(n)
+			b.stats.BytesMatched += int64(n)
+			out := &tcp.Segment{
+				Seq:     seq,
+				Ack:     c.minAck(false),
+				Flags:   tcp.FlagACK | tcp.FlagPSH,
+				Window:  c.minWin(false),
+				Payload: payload,
+			}
+			if b.finsMatchedAt(c, c.sndMax) && c.pq.Len() == 0 && c.sq.Len() == 0 {
+				out.Flags |= tcp.FlagFIN
+				c.finSent = true
+				c.finSeq = c.sndMax
+				c.sndMax = c.sndMax.Add(1)
+			}
+			b.emitToClient(c, out)
+			continue
+		}
+		if b.finsMatchedAt(c, c.sndMax) && !c.finSent {
+			out := &tcp.Segment{
+				Seq:    c.sndMax,
+				Ack:    c.minAck(false),
+				Flags:  tcp.FlagACK | tcp.FlagFIN,
+				Window: c.minWin(false),
+			}
+			c.finSent = true
+			c.finSeq = c.sndMax
+			c.sndMax = c.sndMax.Add(1)
+			b.emitToClient(c, out)
+			continue
+		}
+		break
+	}
+	b.maybeEmitAck(c)
+	b.maybeGC(c)
+}
+
+func (b *PrimaryBridge) finsMatchedAt(c *pconn, at tcp.Seq) bool {
+	if c.finSent {
+		return false
+	}
+	if b.degraded {
+		return c.pFinSet && c.pFin == at
+	}
+	return c.pFinSet && c.sFinSet && c.pFin == at && c.sFin == at
+}
+
+func (c *pconn) minAck(degraded bool) tcp.Seq {
+	switch {
+	case degraded || !c.ackSSet:
+		return c.ackP
+	case !c.ackPSet:
+		return c.ackS
+	default:
+		return tcp.MinSeq(c.ackP, c.ackS)
+	}
+}
+
+func (c *pconn) minWin(degraded bool) uint16 {
+	if degraded {
+		return c.winP
+	}
+	return min(c.winP, c.winS)
+}
+
+// maybeEmitAck constructs a payload-less segment when the combined
+// acknowledgment advances (or the combined window reopens), preventing the
+// deadlock the paper describes when the server applications send no data.
+func (b *PrimaryBridge) maybeEmitAck(c *pconn) {
+	if !c.combinedSynSent {
+		return
+	}
+	if !b.degraded && !(c.ackPSet && c.ackSSet) {
+		return
+	}
+	if b.degraded && !c.ackPSet {
+		return
+	}
+	minAck := c.minAck(b.degraded)
+	minWin := c.minWin(b.degraded)
+	needAck := !c.lastAckValid || minAck.Greater(c.lastAckSent)
+	winDelta := int(minWin) - int(c.lastWinSent)
+	needWin := winDelta > 0 && (c.lastWinSent == 0 || winDelta >= c.effMSS(b.cfg.DefaultMSS))
+	if !needAck && !needWin {
+		return
+	}
+	b.stats.EmptyAcks++
+	b.emitToClient(c, &tcp.Segment{
+		Seq:    c.sndMax,
+		Ack:    minAck,
+		Flags:  tcp.FlagACK,
+		Window: minWin,
+	})
+}
+
+// maybeSendCombinedSyn emits the SYN (or SYN-ACK) the client sees, once
+// both replicas' SYNs are known: sequence number in the secondary's space,
+// MSS and window the minimum of the two (section 7).
+func (b *PrimaryBridge) maybeSendCombinedSyn(c *pconn) {
+	if !c.pInitSet || !c.sInitSet {
+		return
+	}
+	if !c.combinedSynSent {
+		c.delta = c.seqPInit - c.seqSInit
+		c.deltaKnown = true
+		c.sndMax = c.seqSInit.Add(1)
+		c.pq = newByteQueue(c.sndMax)
+		c.sq = newByteQueue(c.sndMax)
+	}
+	mss := c.effMSS(b.cfg.DefaultMSS)
+	seg := &tcp.Segment{
+		Seq:     c.seqSInit,
+		Flags:   tcp.FlagSYN,
+		Window:  min(c.synWinP, c.synWinS),
+		Options: []tcp.Option{tcp.MSSOption(uint16(mss))},
+	}
+	if !c.serverInitiated {
+		seg.Flags |= tcp.FlagACK
+		seg.Ack = c.minAck(b.degraded)
+	}
+	c.combinedSynSent = true
+	b.emitToClient(c, seg)
+}
+
+// adoptPrimaryAsSecondary handles connections still establishing when the
+// secondary fails: the primary's own SYN stands in for the missing
+// secondary's, making Delta-seq zero for this connection.
+func (b *PrimaryBridge) adoptPrimaryAsSecondary(c *pconn) {
+	c.sInitSet = true
+	c.seqSInit = c.seqPInit
+	c.mssS = c.mssP
+	c.synWinS = c.synWinP
+	c.winS = c.winP
+	if c.ackPSet {
+		c.ackS = c.ackP
+		c.ackSSet = true
+	}
+}
+
+func (b *PrimaryBridge) forwardRST(c *pconn, segment []byte, fromPrimary bool) {
+	seq := tcp.RawSeq(segment)
+	if fromPrimary {
+		if c.deltaKnown {
+			seq -= c.delta
+		} else if !tcp.RawFlags(segment).Has(tcp.FlagACK) {
+			// Cannot express the reset in the client's sequence space.
+			return
+		}
+	}
+	out := &tcp.Segment{Seq: seq, Flags: tcp.FlagRST}
+	if tcp.RawFlags(segment).Has(tcp.FlagACK) {
+		out.Flags |= tcp.FlagACK
+		out.Ack = tcp.RawAck(segment)
+	}
+	b.emitToClient(c, out)
+	b.removeConn(c)
+}
+
+func (b *PrimaryBridge) emitToClient(c *pconn, seg *tcp.Segment) {
+	seg.SrcPort = c.key.LocalPort
+	seg.DstPort = c.key.PeerPort
+	raw := tcp.Marshal(b.aP, c.key.PeerAddr, seg)
+	b.stats.SegmentsToClient++
+	if seg.Flags.Has(tcp.FlagACK) {
+		c.lastAckSent = seg.Ack
+		c.lastAckValid = true
+		c.lastWinSent = seg.Window
+	}
+	b.emit(c.key.PeerAddr, raw)
+}
+
+// synthesizeAck builds and sends a bare acknowledgment on behalf of a
+// vanished connection (section 8's late-FIN handling). The datagram carries
+// srcAddr as its source, which lets the bridge answer the secondary's FIN
+// retransmissions as if the client had.
+func (b *PrimaryBridge) synthesizeAck(srcAddr ipv4.Addr, srcPort uint16, dstAddr ipv4.Addr, dstPort uint16, seq, ack tcp.Seq) {
+	seg := &tcp.Segment{
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   tcp.FlagACK,
+		Window:  65535,
+	}
+	raw := tcp.Marshal(srcAddr, dstAddr, seg)
+	_ = b.host.SendIPFast(srcAddr, dstAddr, ipv4.ProtoTCP, raw)
+}
+
+// maybeGC deletes the connection record once both directions are fully
+// closed (section 8): the servers' FIN has been acknowledged by the client
+// and the client's FIN has been acknowledged by both servers.
+func (b *PrimaryBridge) maybeGC(c *pconn) {
+	if !(c.finSent && c.finAckedByCl && c.clientFinSeen) {
+		return
+	}
+	if !c.minAck(b.degraded).Geq(c.clientFinEnd) {
+		return
+	}
+	if b.cfg.GCLinger > 0 {
+		key := c.key
+		b.sched.After(b.cfg.GCLinger, "bridge.gc", func() {
+			if cur, ok := b.conns[key]; ok && cur == c {
+				b.removeConn(c)
+			}
+		})
+		return
+	}
+	b.removeConn(c)
+}
+
+func (b *PrimaryBridge) removeConn(c *pconn) {
+	if _, ok := b.conns[c.key]; ok {
+		delete(b.conns, c.key)
+		b.stats.ConnsClosed++
+	}
+}
+
+// HandleSecondaryFailure reconfigures the bridge per section 6 of the
+// paper: flush the primary output queues to the client, disable the
+// demultiplexer and the delaying of primary segments, and keep subtracting
+// Delta-seq from outgoing sequence numbers forever (the client is
+// synchronized to the secondary's sequence space).
+func (b *PrimaryBridge) HandleSecondaryFailure() {
+	if b.degraded {
+		return
+	}
+	b.degraded = true
+	for _, c := range b.conns {
+		if !c.deltaKnown {
+			if c.pInitSet && !c.sInitSet {
+				b.adoptPrimaryAsSecondary(c)
+				b.maybeSendCombinedSyn(c)
+			}
+			continue
+		}
+		// Step 1: drain the primary output queue into new segments.
+		mss := c.effMSS(b.cfg.DefaultMSS)
+		for {
+			data := c.pq.Contiguous()
+			if len(data) == 0 {
+				break
+			}
+			n := min(len(data), mss)
+			out := &tcp.Segment{
+				Seq:     c.sndMax,
+				Ack:     c.minAck(true),
+				Flags:   tcp.FlagACK | tcp.FlagPSH,
+				Window:  c.minWin(true),
+				Payload: append([]byte(nil), data[:n]...),
+			}
+			c.pq.Advance(n)
+			c.sq.Advance(n)
+			c.sndMax = c.sndMax.Add(n)
+			if b.finsMatchedAt(c, c.sndMax) && c.pq.Len() == 0 {
+				out.Flags |= tcp.FlagFIN
+				c.finSent = true
+				c.finSeq = c.sndMax
+				c.sndMax = c.sndMax.Add(1)
+			}
+			b.emitToClient(c, out)
+		}
+		if b.finsMatchedAt(c, c.sndMax) && !c.finSent {
+			out := &tcp.Segment{
+				Seq:    c.sndMax,
+				Ack:    c.minAck(true),
+				Flags:  tcp.FlagACK | tcp.FlagFIN,
+				Window: c.minWin(true),
+			}
+			c.finSent = true
+			c.finSeq = c.sndMax
+			c.sndMax = c.sndMax.Add(1)
+			b.emitToClient(c, out)
+		}
+		b.maybeEmitAck(c)
+	}
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// Unit-level tests of the primary bridge: scripted segments are pushed
+// through its hooks and the emitted client-bound segments are captured.
+
+type priFixture struct {
+	sched *sim.Scheduler
+	host  *netstack.Host
+	b     *PrimaryBridge
+	aP    ipv4.Addr
+	aS    ipv4.Addr
+	aC    ipv4.Addr
+	sent  []capturedSeg
+}
+
+type capturedSeg struct {
+	dst ipv4.Addr
+	seg *tcp.Segment
+	raw []byte
+}
+
+func newPriFixture(t *testing.T) *priFixture {
+	t.Helper()
+	f := &priFixture{
+		sched: sim.New(1),
+		aP:    ipv4.MustParseAddr("10.0.1.1"),
+		aS:    ipv4.MustParseAddr("10.0.1.2"),
+		aC:    ipv4.MustParseAddr("10.0.2.1"),
+	}
+	seg := ethernet.NewSegment(f.sched, ethernet.Config{})
+	prefix := ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.1.0"), 24)
+	f.host = netstack.NewHost(f.sched, "p", netstack.DefaultProfile())
+	f.host.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 1}, f.aP, prefix)
+	sel := NewSelector()
+	sel.EnableServerPort(80)
+	f.b = NewPrimaryBridge(f.host, f.aP, f.aS, sel, PrimaryConfig{})
+	// Capture emissions without touching the wire.
+	f.b.SetEmitFunc(func(client ipv4.Addr, raw []byte) {
+		s, err := tcp.Unmarshal(f.aP, client, raw, true)
+		if err != nil {
+			t.Fatalf("bridge emitted an invalid segment: %v", err)
+		}
+		f.sent = append(f.sent, capturedSeg{dst: client, seg: s, raw: raw})
+	})
+	return f
+}
+
+// fromPrimaryTCP pushes a segment as if the local TCP layer emitted it.
+func (f *priFixture) fromPrimaryTCP(t *testing.T, seg *tcp.Segment) {
+	t.Helper()
+	seg.SrcPort, seg.DstPort = 80, 49152
+	raw := tcp.Marshal(f.aP, f.aC, seg)
+	if !f.b.outbound(f.aP, f.aC, raw) {
+		t.Fatalf("failover segment not consumed: %+v", seg)
+	}
+}
+
+// fromSecondaryWire pushes a diverted segment as it would arrive from S.
+func (f *priFixture) fromSecondaryWire(t *testing.T, seg *tcp.Segment) {
+	t.Helper()
+	seg.SrcPort, seg.DstPort = 80, 49152
+	raw := tcp.Marshal(f.aS, f.aC, seg)
+	div, err := tcp.InsertOrigDstOption(raw, f.aC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp.PatchPseudoAddr(div, f.aC, f.aP)
+	verdict, _, _ := f.b.inbound(0, ipv4.Header{Protocol: ipv4.ProtoTCP, Src: f.aS, Dst: f.aP}, div)
+	if verdict != netstack.VerdictDrop {
+		t.Fatalf("diverted segment not consumed (verdict %v)", verdict)
+	}
+}
+
+// fromClientWire pushes a client segment; returns the possibly patched
+// payload that would be delivered to the local TCP layer.
+func (f *priFixture) fromClientWire(t *testing.T, seg *tcp.Segment) []byte {
+	t.Helper()
+	seg.SrcPort, seg.DstPort = 49152, 80
+	raw := tcp.Marshal(f.aC, f.aP, seg)
+	verdict, _, np := f.b.inbound(0, ipv4.Header{Protocol: ipv4.ProtoTCP, Src: f.aC, Dst: f.aP}, raw)
+	if verdict == netstack.VerdictDrop {
+		return nil
+	}
+	return np
+}
+
+const (
+	clientISS = 1_000_000
+	pISS      = 50_000_000
+	sISS      = 90_000_000
+)
+
+// establish walks the fixture through a client-initiated handshake.
+func (f *priFixture) establish(t *testing.T) {
+	t.Helper()
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS, Flags: tcp.FlagSYN, Window: 65535,
+		Options: []tcp.Option{tcp.MSSOption(1460)}})
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS, Ack: clientISS + 1,
+		Flags: tcp.FlagSYN | tcp.FlagACK, Window: 60000,
+		Options: []tcp.Option{tcp.MSSOption(1460)}})
+	if len(f.sent) != 0 {
+		t.Fatalf("SYN-ACK not held while waiting for the secondary (sent %d)", len(f.sent))
+	}
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS, Ack: clientISS + 1,
+		Flags: tcp.FlagSYN | tcp.FlagACK, Window: 58000,
+		Options: []tcp.Option{tcp.MSSOption(1452)}})
+	if len(f.sent) != 1 {
+		t.Fatalf("combined SYN-ACK count = %d, want 1", len(f.sent))
+	}
+}
+
+func TestBridgeCombinedSynAck(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	syn := f.sent[0].seg
+	if !syn.Flags.Has(tcp.FlagSYN | tcp.FlagACK) {
+		t.Errorf("flags = %v", syn.Flags)
+	}
+	if syn.Seq != sISS {
+		t.Errorf("combined SYN seq = %d, want the secondary's ISS %d", syn.Seq, sISS)
+	}
+	if syn.Ack != clientISS+1 {
+		t.Errorf("ack = %d", syn.Ack)
+	}
+	if mss, _ := syn.MSS(); mss != 1452 {
+		t.Errorf("MSS = %d, want min(1460,1452)", mss)
+	}
+	if syn.Window != 58000 {
+		t.Errorf("window = %d, want min(60000,58000)", syn.Window)
+	}
+}
+
+func TestBridgeFigure2Matching(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	f.sent = nil
+
+	// The primary's TCP produces 4 bytes in P-space; no emission until the
+	// secondary's copy arrives.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("wxyz")})
+	if len(f.sent) != 0 {
+		t.Fatalf("primary data released without the secondary's copy")
+	}
+	// The secondary produces the same bytes, differently segmented: first
+	// two, then the rest plus more that the primary has not produced yet.
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000, Payload: []byte("wx")})
+	if len(f.sent) != 1 || string(f.sent[0].seg.Payload) != "wx" {
+		t.Fatalf("first match: %+v", f.sent)
+	}
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 3, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000, Payload: []byte("yzAB")})
+	if len(f.sent) != 2 || string(f.sent[1].seg.Payload) != "yz" {
+		t.Fatalf("second match: %+v", f.sent)
+	}
+	// The sequence numbers to the client are in the secondary's space.
+	if f.sent[0].seg.Seq != sISS+1 || f.sent[1].seg.Seq != sISS+3 {
+		t.Errorf("emitted seqs %d, %d", f.sent[0].seg.Seq, f.sent[1].seg.Seq)
+	}
+	// "AB" waits in the secondary queue for the primary's copy.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 5, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("AB")})
+	if len(f.sent) != 3 || string(f.sent[2].seg.Payload) != "AB" {
+		t.Fatalf("third match: %+v", f.sent)
+	}
+}
+
+func TestBridgeMinAckAndWindow(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	f.sent = nil
+
+	// The primary acknowledges further than the secondary: the combined
+	// minimum has not advanced, so the bridge must stay silent — this is
+	// the guarantee that the client never sees data acknowledged before
+	// both replicas hold it (requirement 2).
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 2921,
+		Flags: tcp.FlagACK, Window: 50000})
+	if len(f.sent) != 0 {
+		t.Fatalf("bridge acked ahead of the secondary: %+v", f.sent)
+	}
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1461,
+		Flags: tcp.FlagACK, Window: 40000})
+	if len(f.sent) != 1 {
+		t.Fatalf("no empty ack after combined minimum advanced")
+	}
+	out := f.sent[0].seg
+	if out.Ack != clientISS+1461 {
+		t.Errorf("ack = %d, want min(2921,1461)+base = %d", out.Ack, clientISS+1461)
+	}
+	if out.Window != 40000 {
+		t.Errorf("window = %d, want min(50000,40000)", out.Window)
+	}
+}
+
+func TestBridgeInboundAckTranslation(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+
+	// The client acknowledges in the secondary's space; the local TCP layer
+	// must receive it in the primary's space (+Delta).
+	delivered := f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 101,
+		Flags: tcp.FlagACK, Window: 65535})
+	if delivered == nil {
+		t.Fatal("client segment consumed")
+	}
+	if got := tcp.RawAck(delivered); got != tcp.Seq(pISS+101) {
+		t.Errorf("translated ack = %d, want %d", got, pISS+101)
+	}
+	if tcp.ComputeChecksum(f.aC, f.aP, delivered) != 0 {
+		t.Error("checksum invalid after the incremental ack patch")
+	}
+}
+
+func TestBridgeRetransmissionForwardedImmediately(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	f.sent = nil
+	// Release four bytes.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 60000, Payload: []byte("data")})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000, Payload: []byte("data")})
+	if len(f.sent) != 1 {
+		t.Fatal("setup release failed")
+	}
+	f.sent = nil
+	// The primary's TCP retransmits: the bridge holds only one copy, so it
+	// must send immediately without waiting for the secondary (section 4).
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 60000, Payload: []byte("data")})
+	if len(f.sent) != 1 || string(f.sent[0].seg.Payload) != "data" {
+		t.Fatalf("retransmission not forwarded: %+v", f.sent)
+	}
+	if f.sent[0].seg.Seq != sISS+1 {
+		t.Errorf("retransmission seq = %d, want translated %d", f.sent[0].seg.Seq, sISS+1)
+	}
+	if f.b.Stats().RetransmissionsForwarded != 1 {
+		t.Errorf("RetransmissionsForwarded = %d", f.b.Stats().RetransmissionsForwarded)
+	}
+}
+
+func TestBridgeReplicaBytesMustMatch(t *testing.T) {
+	f := newPriFixture(t)
+	f.b.cfg.VerifyReplicaOutput = true
+	f.establish(t)
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 60000, Payload: []byte("AAAA")})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000, Payload: []byte("BBBB")})
+	if f.b.Stats().Divergences == 0 {
+		t.Error("divergent replica output not detected")
+	}
+}
+
+func TestBridgeDegradedPassThrough(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	f.sent = nil
+	// Queue primary bytes the secondary never confirms, then fail it.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("pending")})
+	f.b.HandleSecondaryFailure()
+	if !f.b.Degraded() {
+		t.Fatal("not degraded")
+	}
+	// Step 1: the queue is flushed to the client.
+	if len(f.sent) != 1 || string(f.sent[0].seg.Payload) != "pending" {
+		t.Fatalf("queue not flushed: %+v", f.sent)
+	}
+	if f.sent[0].seg.Seq != sISS+1 {
+		t.Errorf("flush seq = %d, want translated space", f.sent[0].seg.Seq)
+	}
+	f.sent = nil
+	// Step 3: subsequent segments pass straight through, still translated.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 8, Ack: clientISS + 9,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("more")})
+	if len(f.sent) != 1 {
+		t.Fatalf("degraded segment not forwarded")
+	}
+	out := f.sent[0]
+	if out.seg.Seq != sISS+8 {
+		t.Errorf("degraded seq = %d, want %d (Delta still subtracted)", out.seg.Seq, sISS+8)
+	}
+	if out.seg.Ack != clientISS+9 {
+		t.Errorf("degraded ack = %d, want the primary's own %d", out.seg.Ack, clientISS+9)
+	}
+	if !bytes.Equal(out.seg.Payload, []byte("more")) {
+		t.Error("payload damaged in degraded pass-through")
+	}
+}
+
+// TestBridgeServerInitiatedEstablishment covers section 7.2: both replicas
+// dial an unreplicated server T; the bridge merges their SYNs into one.
+func TestBridgeServerInitiatedEstablishment(t *testing.T) {
+	f := newPriFixture(t)
+	f.b.sel.EnablePeerPort(49152) // "T"'s well-known port, for this test
+
+	// The primary's TCP dials first: a bare SYN, held by the bridge.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS, Flags: tcp.FlagSYN,
+		Window: 60000, Options: []tcp.Option{tcp.MSSOption(1460)}})
+	if len(f.sent) != 0 {
+		t.Fatal("primary SYN not held")
+	}
+	// The secondary's diverted SYN arrives; the combined SYN goes to T.
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS, Flags: tcp.FlagSYN,
+		Window: 58000, Options: []tcp.Option{tcp.MSSOption(1452)}})
+	if len(f.sent) != 1 {
+		t.Fatalf("combined SYN count = %d", len(f.sent))
+	}
+	syn := f.sent[0].seg
+	if syn.Flags.Has(tcp.FlagACK) {
+		t.Error("server-initiated combined SYN must not carry ACK")
+	}
+	if syn.Seq != sISS {
+		t.Errorf("seq = %d, want the secondary's ISS", syn.Seq)
+	}
+	if mss, _ := syn.MSS(); mss != 1452 {
+		t.Errorf("MSS = %d, want the minimum", mss)
+	}
+
+	// T's SYN-ACK (a "client" segment here) gets its ack translated for
+	// the local TCP layer.
+	delivered := f.fromClientWire(t, &tcp.Segment{Seq: clientISS, Ack: sISS + 1,
+		Flags: tcp.FlagSYN | tcp.FlagACK, Window: 65535,
+		Options: []tcp.Option{tcp.MSSOption(1460)}})
+	if delivered == nil {
+		t.Fatal("T's SYN-ACK consumed")
+	}
+	if got := tcp.RawAck(delivered); got != tcp.Seq(pISS+1) {
+		t.Errorf("translated ack = %d, want %d", got, pISS+1)
+	}
+
+	// The replicas' final handshake ACKs: the first advances the combined
+	// minimum and completes T's handshake.
+	f.sent = nil
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 60000})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000})
+	if len(f.sent) != 1 {
+		t.Fatalf("final ACK emissions = %d, want exactly 1", len(f.sent))
+	}
+	if f.sent[0].seg.Ack != clientISS+1 {
+		t.Errorf("final ack = %d", f.sent[0].seg.Ack)
+	}
+}
+
+// TestBridgeRSTForwarding covers both directions of reset propagation.
+func TestBridgeRSTForwarding(t *testing.T) {
+	t.Run("from_primary_translated", func(t *testing.T) {
+		f := newPriFixture(t)
+		f.establish(t)
+		f.sent = nil
+		f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+			Flags: tcp.FlagRST | tcp.FlagACK})
+		if len(f.sent) != 1 || !f.sent[0].seg.Flags.Has(tcp.FlagRST) {
+			t.Fatalf("RST not forwarded: %+v", f.sent)
+		}
+		if f.sent[0].seg.Seq != sISS+1 {
+			t.Errorf("RST seq = %d, want translated %d", f.sent[0].seg.Seq, sISS+1)
+		}
+		if f.b.Conns() != 0 {
+			t.Error("connection record survived the reset")
+		}
+	})
+	t.Run("from_secondary_as_is", func(t *testing.T) {
+		f := newPriFixture(t)
+		f.establish(t)
+		f.sent = nil
+		f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+			Flags: tcp.FlagRST | tcp.FlagACK})
+		if len(f.sent) != 1 || !f.sent[0].seg.Flags.Has(tcp.FlagRST) {
+			t.Fatalf("RST not forwarded: %+v", f.sent)
+		}
+		if f.sent[0].seg.Seq != sISS+1 {
+			t.Errorf("RST seq = %d (the secondary's space needs no translation)", f.sent[0].seg.Seq)
+		}
+	})
+	t.Run("syn_refusal_passthrough", func(t *testing.T) {
+		// A refusal RST (answering a SYN) arrives before Delta is known;
+		// its ACK-derived fields are valid in any space.
+		f := newPriFixture(t)
+		f.fromClientWire(t, &tcp.Segment{Seq: clientISS, Flags: tcp.FlagSYN, Window: 65535})
+		f.fromPrimaryTCP(t, &tcp.Segment{Seq: 0, Ack: clientISS + 1,
+			Flags: tcp.FlagRST | tcp.FlagACK})
+		if len(f.sent) != 1 || !f.sent[0].seg.Flags.Has(tcp.FlagRST) {
+			t.Fatalf("refusal RST not forwarded: %+v", f.sent)
+		}
+	})
+}
+
+// TestBridgeDegradedNewConnections: connections arriving after the
+// secondary has failed establish against the primary alone, with
+// Delta-seq = 0 (the primary's SYN stands in for the missing secondary's).
+func TestBridgeDegradedNewConnections(t *testing.T) {
+	f := newPriFixture(t)
+	f.b.HandleSecondaryFailure()
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS, Flags: tcp.FlagSYN, Window: 65535,
+		Options: []tcp.Option{tcp.MSSOption(1460)}})
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS, Ack: clientISS + 1,
+		Flags: tcp.FlagSYN | tcp.FlagACK, Window: 60000,
+		Options: []tcp.Option{tcp.MSSOption(1460)}})
+	if len(f.sent) != 1 {
+		t.Fatalf("SYN-ACK not emitted in degraded mode (sent=%d)", len(f.sent))
+	}
+	syn := f.sent[0].seg
+	if syn.Seq != pISS {
+		t.Errorf("degraded SYN-ACK seq = %d, want the primary's own ISS (Delta=0)", syn.Seq)
+	}
+	f.sent = nil
+	// Data passes straight through, untranslated.
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("solo")})
+	if len(f.sent) != 1 || f.sent[0].seg.Seq != pISS+1 {
+		t.Fatalf("degraded new-connection data mishandled: %+v", f.sent)
+	}
+}
+
+// TestBridgeFinMatching: the merged FIN is emitted only when both replicas
+// have produced theirs at the same stream position (section 8).
+func TestBridgeFinMatching(t *testing.T) {
+	f := newPriFixture(t)
+	f.establish(t)
+	f.sent = nil
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagFIN | tcp.FlagPSH, Window: 60000, Payload: []byte("bye")})
+	if len(f.sent) != 0 {
+		t.Fatal("FIN released before the secondary's")
+	}
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagFIN | tcp.FlagPSH, Window: 58000, Payload: []byte("bye")})
+	if len(f.sent) != 1 {
+		t.Fatalf("merged FIN emissions = %d", len(f.sent))
+	}
+	out := f.sent[0].seg
+	if !out.Flags.Has(tcp.FlagFIN) || string(out.Payload) != "bye" {
+		t.Fatalf("merged segment: %+v", out)
+	}
+	// The client acknowledges the FIN; with its own FIN already seen, the
+	// record is garbage-collected.
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 5,
+		Flags: tcp.FlagACK | tcp.FlagFIN, Window: 65535})
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 5, Ack: clientISS + 2, Flags: tcp.FlagACK, Window: 60000})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 5, Ack: clientISS + 2, Flags: tcp.FlagACK, Window: 58000})
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 2, Ack: sISS + 5, Flags: tcp.FlagACK, Window: 65535})
+	if f.b.Conns() != 0 {
+		t.Errorf("record not garbage-collected after full close (%d left)", f.b.Conns())
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import "tcpfailover/internal/tcp"
+
+// byteQueue is one of the primary bridge's per-connection output queues
+// (the "primary server output queue" and "secondary server output queue" of
+// the paper's Figure 2). It stores payload bytes of the server-to-client
+// stream, indexed by sequence number in the secondary's sequence space.
+// Bytes below the floor — already sent to the client — are discarded on
+// insert. Blocks are kept sorted and non-overlapping, preferring
+// already-held bytes on overlap (the replicas produce identical streams, so
+// the choice is immaterial unless divergence detection trips).
+type byteQueue struct {
+	floor  tcp.Seq // lowest sequence number of interest (= bridge sndMax)
+	blocks []qblock
+	bytes  int
+}
+
+type qblock struct {
+	seq  tcp.Seq
+	data []byte
+}
+
+func (b qblock) end() tcp.Seq { return b.seq.Add(len(b.data)) }
+
+func newByteQueue(floor tcp.Seq) *byteQueue { return &byteQueue{floor: floor} }
+
+// Len returns the number of buffered bytes.
+func (q *byteQueue) Len() int { return q.bytes }
+
+// Insert stores payload at seq, copying it and trimming anything below the
+// floor or overlapping existing blocks.
+func (q *byteQueue) Insert(seq tcp.Seq, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if seq.Less(q.floor) {
+		skip := q.floor.Diff(seq)
+		if skip >= len(payload) {
+			return
+		}
+		payload = payload[skip:]
+		seq = q.floor
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	nb := qblock{seq: seq, data: data}
+
+	// A fresh slice: splitting the new block around an existing one appends
+	// two elements per element read, which would corrupt an aliased
+	// in-place rebuild.
+	out := make([]qblock, 0, len(q.blocks)+2)
+	inserted := false
+	for _, blk := range q.blocks {
+		switch {
+		case nb.data == nil || blk.end().Leq(nb.seq):
+			out = append(out, blk)
+		case nb.end().Leq(blk.seq):
+			if !inserted {
+				out = append(out, nb)
+				q.bytes += len(nb.data)
+				inserted = true
+			}
+			out = append(out, blk)
+		default:
+			if nb.seq.Less(blk.seq) {
+				left := qblock{seq: nb.seq, data: nb.data[:blk.seq.Diff(nb.seq)]}
+				out = append(out, left)
+				q.bytes += len(left.data)
+			}
+			out = append(out, blk)
+			if nb.end().Greater(blk.end()) {
+				nb = qblock{seq: blk.end(), data: nb.data[blk.end().Diff(nb.seq):]}
+			} else {
+				nb.data = nil
+				inserted = true
+			}
+		}
+	}
+	if nb.data != nil && !inserted {
+		out = append(out, nb)
+		q.bytes += len(nb.data)
+	}
+	q.blocks = out
+}
+
+// Contiguous returns the bytes available starting exactly at the floor
+// (without consuming). The returned slice aliases internal storage.
+func (q *byteQueue) Contiguous() []byte {
+	if len(q.blocks) == 0 || q.blocks[0].seq != q.floor {
+		return nil
+	}
+	// Coalesce adjacent blocks lazily: the common case is a single block.
+	b := q.blocks[0]
+	if len(q.blocks) == 1 || q.blocks[1].seq != b.end() {
+		return b.data
+	}
+	var out []byte
+	next := q.floor
+	for _, blk := range q.blocks {
+		if blk.seq != next {
+			break
+		}
+		out = append(out, blk.data...)
+		next = blk.end()
+	}
+	return out
+}
+
+// Advance raises the floor by n bytes, discarding everything below it.
+func (q *byteQueue) Advance(n int) {
+	q.floor = q.floor.Add(n)
+	out := q.blocks[:0]
+	for _, blk := range q.blocks {
+		if blk.end().Leq(q.floor) {
+			q.bytes -= len(blk.data)
+			continue
+		}
+		if blk.seq.Less(q.floor) {
+			cut := q.floor.Diff(blk.seq)
+			q.bytes -= cut
+			blk = qblock{seq: q.floor, data: blk.data[cut:]}
+		}
+		out = append(out, blk)
+	}
+	q.blocks = out
+}
+
+// Floor returns the current floor sequence number.
+func (q *byteQueue) Floor() tcp.Seq { return q.floor }

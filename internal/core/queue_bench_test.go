@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"tcpfailover/internal/tcp"
+)
+
+// BenchmarkByteQueueMatch measures the primary bridge's per-byte matching
+// cost: both replicas' streams inserted with different segmentations and
+// drained through Contiguous/Advance, the Figure 2 pipeline.
+func BenchmarkByteQueueMatch(b *testing.B) {
+	const chunkP, chunkS = 1460, 1452
+	payloadP := make([]byte, chunkP)
+	payloadS := make([]byte, chunkS)
+	for b.Loop() {
+		pq := newByteQueue(0)
+		sq := newByteQueue(0)
+		var pSeq, sSeq tcp.Seq
+		released := 0
+		for released < 64*1024 {
+			pq.Insert(pSeq, payloadP)
+			pSeq = pSeq.Add(chunkP)
+			sq.Insert(sSeq, payloadS)
+			sSeq = sSeq.Add(chunkS)
+			for {
+				pb, sb := pq.Contiguous(), sq.Contiguous()
+				n := min(len(pb), len(sb))
+				if n == 0 {
+					break
+				}
+				pq.Advance(n)
+				sq.Advance(n)
+				released += n
+			}
+		}
+	}
+	b.SetBytes(64 * 1024)
+}
+
+// BenchmarkByteQueueOutOfOrder measures insertion with reordering, the
+// queue's worst case.
+func BenchmarkByteQueueOutOfOrder(b *testing.B) {
+	payload := make([]byte, 1452)
+	for b.Loop() {
+		q := newByteQueue(0)
+		// Insert 32 segments in reverse, then drain.
+		for i := 31; i >= 0; i-- {
+			q.Insert(tcp.Seq(i*1452), payload)
+		}
+		q.Advance(32 * 1452)
+	}
+	b.SetBytes(32 * 1452)
+}

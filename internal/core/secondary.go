@@ -1,0 +1,182 @@
+package core
+
+import (
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// origDstOptionLen is the wire overhead of the original-destination option
+// block (two alignment NOPs + kind + length + IPv4 address).
+const origDstOptionLen = 8
+
+// SecondaryStats counts the secondary bridge's work.
+type SecondaryStats struct {
+	SnoopedIn     int64 // client segments captured promiscuously and translated
+	DivertedOut   int64 // locally generated segments diverted to the primary
+	DroppedDuring int64 // segments dropped while takeover was reconfiguring
+	TakenOver     int64 // connections re-keyed to the primary address
+}
+
+// SecondaryBridge is the bridge sublayer on the secondary server S.
+//
+// In normal operation it (a) receives all of the client's datagrams via the
+// NIC's promiscuous mode, replaces the destination address aP with aS and
+// passes them up so S's TCP layer believes the client sent them directly to
+// S, and (b) intercepts every TCP segment S's layer addresses to a client,
+// replaces the destination with aP, and records the original destination in
+// a TCP header option (paper section 3.1).
+//
+// On primary failure, Takeover runs the five-step procedure of section 5.
+type SecondaryBridge struct {
+	host    *netstack.Host
+	ifIndex int
+	aP, aS  ipv4.Addr
+	// upstream is where diverted segments go: the primary, or — for the
+	// tail of a daisy chain — the next backup up the chain. Defaults to aP.
+	upstream ipv4.Addr
+	sel      *Selector
+
+	active bool
+	// conns tracks the failover connections established under aS so they
+	// can be re-keyed to aP at takeover.
+	conns map[TupleKey]tcp.Tuple
+
+	stats SecondaryStats
+}
+
+// NewSecondaryBridge installs the bridge on host's interface ifIndex. The
+// NIC is placed in promiscuous receive mode.
+func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondaryAddr ipv4.Addr, sel *Selector) *SecondaryBridge {
+	b := &SecondaryBridge{
+		host:     host,
+		ifIndex:  ifIndex,
+		aP:       primaryAddr,
+		aS:       secondaryAddr,
+		upstream: primaryAddr,
+		sel:      sel,
+		active:   true,
+		conns:    make(map[TupleKey]tcp.Tuple),
+	}
+	host.Iface(ifIndex).NIC().SetPromiscuous(true)
+	host.SetInboundHook(b.inbound)
+	host.SetOutboundHook(b.outbound)
+	return b
+}
+
+// Stats returns a copy of the bridge counters.
+func (b *SecondaryBridge) Stats() SecondaryStats { return b.stats }
+
+// Active reports whether the bridge is operating (false after takeover).
+func (b *SecondaryBridge) Active() bool { return b.active }
+
+// inbound implements the aP -> aS destination translation for incoming
+// client segments. All other datagrams follow normal processing.
+func (b *SecondaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
+	if !b.active || hdr.Dst != b.aP || len(payload) < tcp.HeaderLen {
+		return netstack.VerdictPass, hdr, payload
+	}
+	key := TupleKey{
+		PeerAddr:  hdr.Src,
+		PeerPort:  tcp.RawSrcPort(payload),
+		LocalPort: tcp.RawDstPort(payload),
+	}
+	if !b.sel.Match(key) {
+		return netstack.VerdictPass, hdr, payload
+	}
+	// The payload is this station's private copy of the bits; patch the
+	// pseudo-header checksum incrementally and rewrite the address.
+	tcp.PatchPseudoAddr(payload, b.aP, b.aS)
+	hdr.Dst = b.aS
+	if tcp.RawFlags(payload).Has(tcp.FlagSYN) {
+		// Leave MTU headroom for the original-destination option that the
+		// outbound diversion adds to every segment this TCP layer emits.
+		tcp.ClampRawMSS(payload, origDstOptionLen)
+	}
+	b.stats.SnoopedIn++
+	b.conns[key] = tcp.Tuple{
+		LocalAddr:  b.aS,
+		LocalPort:  key.LocalPort,
+		RemoteAddr: key.PeerAddr,
+		RemotePort: key.PeerPort,
+	}
+	return netstack.VerdictDeliver, hdr, payload
+}
+
+// outbound diverts failover segments addressed to a client so they reach
+// the primary bridge instead.
+func (b *SecondaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
+	if !b.active {
+		return false
+	}
+	key := TupleKey{
+		PeerAddr:  dst,
+		PeerPort:  tcp.RawDstPort(segment),
+		LocalPort: tcp.RawSrcPort(segment),
+	}
+	if !b.sel.Match(key) {
+		return false
+	}
+	b.conns[key] = tcp.Tuple{
+		LocalAddr:  src,
+		LocalPort:  key.LocalPort,
+		RemoteAddr: dst,
+		RemotePort: key.PeerPort,
+	}
+	out, err := tcp.InsertOrigDstOption(segment, dst)
+	if err != nil {
+		// Header options full; fall back to dropping (TCP will retransmit).
+		return true
+	}
+	// The checksum must reflect the new pseudo-header destination.
+	tcp.PatchPseudoAddr(out, dst, b.upstream)
+	b.stats.DivertedOut++
+	_ = b.host.SendIPFast(src, b.upstream, ipv4.ProtoTCP, out)
+	return true
+}
+
+// SetUpstream redirects future diverted segments, e.g. when the middle
+// server of a daisy chain fails and the tail re-attaches to the head.
+func (b *SecondaryBridge) SetUpstream(a ipv4.Addr) { b.upstream = a }
+
+// Takeover executes the paper's section 5 procedure after the fault
+// detector reports the primary failed:
+//
+//  1. stop sending TCP segments addressed to the client,
+//  2. disable the promiscuous receive mode,
+//  3. disable the aP-to-aS translation for incoming segments,
+//  4. disable the aC-to-aP translation for outgoing segments,
+//  5. take over the primary's IP address,
+//
+// after which the bridge is disabled and the host behaves like a standard
+// TCP server. The connections the TCP layer established under aS are
+// re-keyed to aP, and a gratuitous ARP is broadcast so the router rebinds
+// aP to this host's MAC (the router's ARP processing latency forms part of
+// the takeover window T).
+func (b *SecondaryBridge) Takeover() error {
+	if !b.active {
+		return nil
+	}
+	// Steps 1, 3, 4: a single flag gates both hooks and the output path.
+	b.active = false
+	// Step 2.
+	b.host.Iface(b.ifIndex).NIC().SetPromiscuous(false)
+	// Step 5.
+	b.host.AddAddress(b.ifIndex, b.aP)
+	stack := b.host.TCP()
+	for _, t := range b.conns {
+		if _, ok := stack.Lookup(t); !ok {
+			continue // connection already closed
+		}
+		if err := stack.Rebind(t, b.aP); err != nil {
+			return err
+		}
+		b.stats.TakenOver++
+	}
+	if err := b.host.Iface(b.ifIndex).ARP().Announce(b.aP); err != nil {
+		return err
+	}
+	// Resume sending: kick retransmission of anything lost during the
+	// reconfiguration by letting the TCP timers run; nothing else to do.
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package core implements the paper's contribution: the TCP Failover
+// bridge, a sublayer that resides between the TCP layer and the IP layer of
+// the primary and secondary servers' network stacks.
+//
+// The SecondaryBridge runs on the secondary server S. It puts the NIC in
+// promiscuous mode, translates the destination address of client segments
+// addressed to the primary P so that S's own TCP layer processes them, and
+// diverts every segment S's TCP layer emits toward a client to P instead,
+// tagging it with the original destination as a TCP header option.
+//
+// The PrimaryBridge runs on the primary server P. It holds segments P's own
+// TCP layer produces, translates their sequence numbers into the
+// secondary's sequence space by subtracting Delta-seq = seqP,init -
+// seqS,init, matches their payload byte-for-byte against the segments
+// received from S, and releases to the client only bytes both replicas have
+// produced — with acknowledgment and window fields set to the minimum of
+// the two replicas' values. On failure of either server the corresponding
+// bridge reconfigures per sections 5 and 6 of the paper.
+package core
+
+import "tcpfailover/internal/ipv4"
+
+// TupleKey identifies a replicated connection from the bridge's viewpoint:
+// the unreplicated peer endpoint (the client, or the back-end server T for
+// server-initiated connections) plus the replicated server's port.
+type TupleKey struct {
+	PeerAddr  ipv4.Addr
+	PeerPort  uint16
+	LocalPort uint16
+}
+
+// Selector decides which TCP connections are failover connections. The
+// paper implements two methods (section 7): a per-socket option, and a
+// user-specified set of port numbers; the same configuration must be
+// installed on the primary and the secondary. Selector supports both:
+// server ports (the replicated server's listening ports), peer ports (for
+// server-initiated connections to well-known back-end ports), and explicit
+// per-connection tuples (the socket-option method).
+type Selector struct {
+	serverPorts map[uint16]bool
+	peerPorts   map[uint16]bool
+	tuples      map[TupleKey]bool
+}
+
+// NewSelector returns an empty selector.
+func NewSelector() *Selector {
+	return &Selector{
+		serverPorts: make(map[uint16]bool),
+		peerPorts:   make(map[uint16]bool),
+		tuples:      make(map[TupleKey]bool),
+	}
+}
+
+// EnableServerPort marks every connection whose replicated-server port is p
+// as a failover connection (paper's method 2, for server sockets).
+func (s *Selector) EnableServerPort(p uint16) { s.serverPorts[p] = true }
+
+// EnablePeerPort marks every connection toward remote port p as a failover
+// connection; used for server-initiated connections to an unreplicated
+// back-end (paper section 7.2).
+func (s *Selector) EnablePeerPort(p uint16) { s.peerPorts[p] = true }
+
+// EnableTuple marks one specific connection (paper's method 1, the
+// per-socket option).
+func (s *Selector) EnableTuple(k TupleKey) { s.tuples[k] = true }
+
+// DisableServerPort removes a server port from the set.
+func (s *Selector) DisableServerPort(p uint16) { delete(s.serverPorts, p) }
+
+// Match reports whether a connection identified by k is a failover
+// connection.
+func (s *Selector) Match(k TupleKey) bool {
+	return s.serverPorts[k.LocalPort] || s.peerPorts[k.PeerPort] || s.tuples[k]
+}
+
+// ServerPorts returns the configured server ports.
+func (s *Selector) ServerPorts() []uint16 {
+	out := make([]uint16, 0, len(s.serverPorts))
+	for p := range s.serverPorts {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"tcpfailover/internal/ipv4"
+)
+
+func TestSelectorServerPorts(t *testing.T) {
+	s := NewSelector()
+	s.EnableServerPort(80)
+	s.EnableServerPort(21)
+
+	client := ipv4.MustParseAddr("10.0.2.1")
+	if !s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 80}) {
+		t.Error("port 80 connection not matched")
+	}
+	if s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 8080}) {
+		t.Error("unrelated port matched")
+	}
+	s.DisableServerPort(80)
+	if s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 80}) {
+		t.Error("disabled port still matched")
+	}
+	ports := s.ServerPorts()
+	if len(ports) != 1 || ports[0] != 21 {
+		t.Errorf("ServerPorts = %v", ports)
+	}
+}
+
+func TestSelectorPeerPorts(t *testing.T) {
+	// Section 7.2: server-initiated connections to a back-end port.
+	s := NewSelector()
+	s.EnablePeerPort(5432)
+	backend := ipv4.MustParseAddr("10.0.2.1")
+	if !s.Match(TupleKey{PeerAddr: backend, PeerPort: 5432, LocalPort: 49152}) {
+		t.Error("back-end connection not matched")
+	}
+	if s.Match(TupleKey{PeerAddr: backend, PeerPort: 5433, LocalPort: 49152}) {
+		t.Error("wrong peer port matched")
+	}
+}
+
+func TestSelectorTuples(t *testing.T) {
+	// The paper's per-socket method: one specific connection.
+	s := NewSelector()
+	k := TupleKey{PeerAddr: ipv4.MustParseAddr("10.0.2.1"), PeerPort: 1234, LocalPort: 9999}
+	s.EnableTuple(k)
+	if !s.Match(k) {
+		t.Error("explicit tuple not matched")
+	}
+	other := k
+	other.PeerPort = 1235
+	if s.Match(other) {
+		t.Error("different tuple matched")
+	}
+}

@@ -1,0 +1,124 @@
+// Package detect implements the fault detector the paper's system employs
+// to detect the failure of a server process or server host (section 2). It
+// exchanges periodic heartbeats over a raw IP protocol on the server LAN
+// and declares the peer failed when no heartbeat arrives within the
+// timeout. Detection latency adds directly to the failover window T.
+package detect
+
+import (
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/sim"
+)
+
+// Config tunes a detector.
+type Config struct {
+	// Period between heartbeats. Default 10 ms.
+	Period time.Duration
+	// Timeout without heartbeats before declaring failure. Default 50 ms.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period == 0 {
+		c.Period = 10 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Detector watches one peer from one host.
+type Detector struct {
+	host      *netstack.Host
+	sched     *sim.Scheduler
+	localAddr ipv4.Addr
+	peerAddr  ipv4.Addr
+	cfg       Config
+	onFailure func()
+
+	lastHeard time.Duration
+	seq       uint64
+	started   bool
+	stopped   bool
+	fired     bool
+
+	sendTimer  *sim.Event
+	checkTimer *sim.Event
+}
+
+// New creates a detector on host watching peerAddr. onFailure runs once,
+// inside the simulation loop, when the peer is declared failed.
+func New(host *netstack.Host, localAddr, peerAddr ipv4.Addr, cfg Config, onFailure func()) *Detector {
+	return &Detector{
+		host:      host,
+		sched:     host.Scheduler(),
+		localAddr: localAddr,
+		peerAddr:  peerAddr,
+		cfg:       cfg.withDefaults(),
+		onFailure: onFailure,
+	}
+}
+
+// Start registers the heartbeat protocol handler and begins the exchange.
+func (d *Detector) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.lastHeard = d.sched.Now()
+	d.host.RegisterProtocol(ipv4.ProtoHeartbeat, func(hdr ipv4.Header, payload []byte) {
+		if hdr.Src == d.peerAddr {
+			d.lastHeard = d.sched.Now()
+		}
+	})
+	d.sendHeartbeat()
+	d.scheduleCheck()
+}
+
+// Stop halts the detector.
+func (d *Detector) Stop() {
+	d.stopped = true
+	if d.sendTimer != nil {
+		d.sendTimer.Stop()
+	}
+	if d.checkTimer != nil {
+		d.checkTimer.Stop()
+	}
+}
+
+// Fired reports whether failure has been declared.
+func (d *Detector) Fired() bool { return d.fired }
+
+func (d *Detector) sendHeartbeat() {
+	if d.stopped || !d.host.Alive() {
+		return
+	}
+	payload := []byte{
+		byte(d.seq >> 56), byte(d.seq >> 48), byte(d.seq >> 40), byte(d.seq >> 32),
+		byte(d.seq >> 24), byte(d.seq >> 16), byte(d.seq >> 8), byte(d.seq),
+	}
+	d.seq++
+	_ = d.host.SendIP(d.localAddr, d.peerAddr, ipv4.ProtoHeartbeat, payload)
+	d.sendTimer = d.sched.After(d.cfg.Period, "detect.heartbeat", d.sendHeartbeat)
+}
+
+func (d *Detector) scheduleCheck() {
+	if d.stopped || d.fired {
+		return
+	}
+	d.checkTimer = d.sched.After(d.cfg.Period, "detect.check", func() {
+		if d.stopped || d.fired || !d.host.Alive() {
+			return
+		}
+		if d.sched.Now()-d.lastHeard > d.cfg.Timeout {
+			d.fired = true
+			d.onFailure()
+			return
+		}
+		d.scheduleCheck()
+	})
+}

@@ -1,0 +1,134 @@
+package detect_test
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover/internal/detect"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/sim"
+)
+
+type duo struct {
+	sched *sim.Scheduler
+	a, b  *netstack.Host
+	aAddr ipv4.Addr
+	bAddr ipv4.Addr
+}
+
+func newDuo(t *testing.T) *duo {
+	t.Helper()
+	sched := sim.New(1)
+	seg := ethernet.NewSegment(sched, ethernet.Config{})
+	prefix := ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.1.0"), 24)
+	d := &duo{
+		sched: sched,
+		aAddr: ipv4.MustParseAddr("10.0.1.1"),
+		bAddr: ipv4.MustParseAddr("10.0.1.2"),
+	}
+	d.a = netstack.NewHost(sched, "a", netstack.DefaultProfile())
+	d.a.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 1}, d.aAddr, prefix)
+	d.b = netstack.NewHost(sched, "b", netstack.DefaultProfile())
+	d.b.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 2}, d.bAddr, prefix)
+	return d
+}
+
+func TestNoFalsePositiveWhileAlive(t *testing.T) {
+	d := newDuo(t)
+	cfg := detect.Config{Period: 10 * time.Millisecond, Timeout: 50 * time.Millisecond}
+	fired := false
+	da := detect.New(d.a, d.aAddr, d.bAddr, cfg, func() { fired = true })
+	db := detect.New(d.b, d.bAddr, d.aAddr, cfg, func() { fired = true })
+	da.Start()
+	db.Start()
+	if err := d.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("fault detector fired with both hosts healthy")
+	}
+	da.Stop()
+	db.Stop()
+}
+
+func TestDetectsCrashWithinTimeout(t *testing.T) {
+	d := newDuo(t)
+	cfg := detect.Config{Period: 10 * time.Millisecond, Timeout: 50 * time.Millisecond}
+	var firedAt time.Duration
+	da := detect.New(d.a, d.aAddr, d.bAddr, cfg, func() { firedAt = d.sched.Now() })
+	db := detect.New(d.b, d.bAddr, d.aAddr, cfg, func() {})
+	da.Start()
+	db.Start()
+	if err := d.sched.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	crashAt := d.sched.Now()
+	d.b.Crash()
+	if err := d.sched.RunUntil(crashAt + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt == 0 {
+		t.Fatal("crash never detected")
+	}
+	latency := firedAt - crashAt
+	if latency < cfg.Timeout || latency > cfg.Timeout+3*cfg.Period {
+		t.Errorf("detection latency %v, want within [%v, %v]",
+			latency, cfg.Timeout, cfg.Timeout+3*cfg.Period)
+	}
+	if !da.Fired() {
+		t.Error("Fired() = false after detection")
+	}
+	da.Stop()
+}
+
+func TestOnFailureRunsOnce(t *testing.T) {
+	d := newDuo(t)
+	cfg := detect.Config{Period: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}
+	count := 0
+	da := detect.New(d.a, d.aAddr, d.bAddr, cfg, func() { count++ })
+	da.Start() // peer never starts: failure is certain
+	if err := d.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("onFailure ran %d times, want exactly 1", count)
+	}
+}
+
+func TestStopSilencesDetector(t *testing.T) {
+	d := newDuo(t)
+	cfg := detect.Config{Period: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}
+	fired := false
+	da := detect.New(d.a, d.aAddr, d.bAddr, cfg, func() { fired = true })
+	da.Start()
+	da.Stop()
+	if err := d.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stopped detector fired")
+	}
+}
+
+func TestCrashedHostDetectorGoesQuiet(t *testing.T) {
+	// A detector on a crashed host must not keep firing events forever.
+	d := newDuo(t)
+	cfg := detect.Config{Period: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}
+	fired := false
+	da := detect.New(d.a, d.aAddr, d.bAddr, cfg, func() { fired = true })
+	db := detect.New(d.b, d.bAddr, d.aAddr, cfg, func() {})
+	da.Start()
+	db.Start()
+	if err := d.sched.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d.a.Crash() // the watching host itself dies
+	if err := d.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("detector on the crashed host declared the (healthy) peer failed")
+	}
+}

@@ -1,0 +1,163 @@
+package ipv4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"10.0.1.1", AddrFrom4(10, 0, 1, 1), true},
+		{"255.255.255.255", AddrFrom4(255, 255, 255, 255), true},
+		{"0.0.0.0", 0, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"1.2.3.256", 0, false},
+		{"a.b.c.d", 0, false},
+	}
+	for _, tc := range tests {
+		got, err := ParseAddr(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := PrefixFrom(MustParseAddr("10.0.1.17"), 24) // masked to 10.0.1.0/24
+	if p.Addr != MustParseAddr("10.0.1.0") {
+		t.Errorf("prefix not masked: %v", p)
+	}
+	for addr, want := range map[string]bool{
+		"10.0.1.1":   true,
+		"10.0.1.255": true,
+		"10.0.2.1":   false,
+		"11.0.1.1":   false,
+	} {
+		if got := p.Contains(MustParseAddr(addr)); got != want {
+			t.Errorf("Contains(%s) = %v, want %v", addr, got, want)
+		}
+	}
+	if !PrefixFrom(0, 0).Contains(MustParseAddr("203.0.113.9")) {
+		t.Error("default route does not contain arbitrary address")
+	}
+	host := PrefixFrom(MustParseAddr("10.0.0.1"), 32)
+	if !host.Contains(MustParseAddr("10.0.0.1")) || host.Contains(MustParseAddr("10.0.0.2")) {
+		t.Error("/32 prefix misbehaves")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for range 300 {
+		h := Header{
+			ID:       uint16(rng.Intn(65536)),
+			TTL:      uint8(1 + rng.Intn(255)),
+			Protocol: uint8(rng.Intn(256)),
+			Src:      Addr(rng.Uint32()),
+			Dst:      Addr(rng.Uint32()),
+		}
+		payload := make([]byte, rng.Intn(256))
+		rng.Read(payload)
+		raw := Marshal(h, payload)
+		got, gotPayload, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got.ID != h.ID || got.TTL != h.TTL || got.Protocol != h.Protocol ||
+			got.Src != h.Src || got.Dst != h.Dst {
+			t.Fatalf("header mismatch: %+v vs %+v", got, h)
+		}
+		if string(gotPayload) != string(payload) {
+			t.Fatal("payload mismatch")
+		}
+		if got.TotalLen != HeaderLen+len(payload) {
+			t.Fatalf("TotalLen = %d", got.TotalLen)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	raw := Marshal(Header{TTL: 64, Protocol: ProtoTCP, Src: 1, Dst: 2}, []byte("data"))
+
+	if _, _, err := Unmarshal(raw[:10]); err == nil {
+		t.Error("truncated datagram accepted")
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[0] = 0x55 // version 5
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	bad = append([]byte(nil), raw...)
+	bad[8] ^= 0xff // corrupt TTL without fixing checksum
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Error("corrupted header accepted (checksum not verified)")
+	}
+}
+
+func TestRoutingLongestPrefixMatch(t *testing.T) {
+	var tbl Table
+	tbl.Add(Route{Dst: PrefixFrom(0, 0), NextHop: MustParseAddr("10.0.0.254"), IfIndex: 0})
+	tbl.Add(Route{Dst: PrefixFrom(MustParseAddr("10.0.1.0"), 24), IfIndex: 1})
+	tbl.Add(Route{Dst: PrefixFrom(MustParseAddr("10.0.1.128"), 25), NextHop: MustParseAddr("10.0.1.200"), IfIndex: 2})
+
+	tests := []struct {
+		dst    string
+		ifidx  int
+		nextok bool
+	}{
+		{"10.0.1.5", 1, false},
+		{"10.0.1.200", 2, true},
+		{"192.168.9.9", 0, true},
+	}
+	for _, tc := range tests {
+		r, ok := tbl.Lookup(MustParseAddr(tc.dst))
+		if !ok {
+			t.Fatalf("no route for %s", tc.dst)
+		}
+		if r.IfIndex != tc.ifidx {
+			t.Errorf("route for %s via if %d, want %d", tc.dst, r.IfIndex, tc.ifidx)
+		}
+		if (r.NextHop != 0) != tc.nextok {
+			t.Errorf("route for %s next hop %v", tc.dst, r.NextHop)
+		}
+	}
+
+	var empty Table
+	if _, ok := empty.Lookup(MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty table returned a route")
+	}
+}
+
+func TestPutGetAddr(t *testing.T) {
+	f := func(v uint32) bool {
+		b := make([]byte, 4)
+		PutAddr(b, Addr(v))
+		return GetAddr(b) == Addr(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package metrics provides the small statistics helpers the benchmark
+// harness uses to report results the way the paper does: medians, maxima,
+// and transfer rates.
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Durations collects duration samples.
+type Durations struct {
+	samples []time.Duration
+}
+
+// Add records a sample.
+func (d *Durations) Add(v time.Duration) { d.samples = append(d.samples, v) }
+
+// N returns the number of samples.
+func (d *Durations) N() int { return len(d.samples) }
+
+// Median returns the median sample (zero when empty).
+func (d *Durations) Median() time.Duration { return d.Percentile(50) }
+
+// Percentile returns the pth percentile using nearest-rank.
+func (d *Durations) Percentile(p float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(d.samples))
+	copy(s, d.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s)-1) * p / 100.0)
+	return s[idx]
+}
+
+// Max returns the largest sample.
+func (d *Durations) Max() time.Duration {
+	var m time.Duration
+	for _, v := range d.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample (zero when empty).
+func (d *Durations) Min() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	m := d.samples[0]
+	for _, v := range d.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean.
+func (d *Durations) Mean() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / time.Duration(len(d.samples))
+}
+
+// RateKBps converts bytes transferred in elapsed time to KB/s (the paper's
+// unit, 1 KB = 1024 bytes).
+func RateKBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1024.0 / elapsed.Seconds()
+}

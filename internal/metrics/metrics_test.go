@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurationsStatistics(t *testing.T) {
+	var d Durations
+	for _, v := range []time.Duration{5, 1, 4, 2, 3} {
+		d.Add(v * time.Millisecond)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if got := d.Median(); got != 3*time.Millisecond {
+		t.Errorf("Median = %v", got)
+	}
+	if got := d.Max(); got != 5*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := d.Min(); got != time.Millisecond {
+		t.Errorf("Min = %v", got)
+	}
+	if got := d.Mean(); got != 3*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := d.Percentile(0); got != time.Millisecond {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := d.Percentile(100); got != 5*time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestDurationsEmpty(t *testing.T) {
+	var d Durations
+	if d.Median() != 0 || d.Max() != 0 || d.Min() != 0 || d.Mean() != 0 {
+		t.Error("empty collector should report zeros")
+	}
+}
+
+func TestRateKBps(t *testing.T) {
+	if got := RateKBps(102400, time.Second); got != 100 {
+		t.Errorf("RateKBps = %v, want 100", got)
+	}
+	if got := RateKBps(1024, 0); got != 0 {
+		t.Errorf("RateKBps with zero elapsed = %v", got)
+	}
+}

@@ -1,0 +1,484 @@
+// Package netstack assembles simulated hosts: NICs, ARP, IPv4 routing and
+// forwarding, and a TCP layer, wired together the way the paper describes —
+// with an interposition point between TCP and IP where the failover bridge
+// sublayer lives. Routers are hosts with forwarding enabled; they operate
+// purely at the IP layer and have no knowledge of TCP.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcpfailover/internal/arp"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// Profile models per-packet host processing costs. These calibrate the
+// simulation against the paper's testbed, where stack-traversal time (not
+// wire time) dominates small-packet latency.
+type Profile struct {
+	// StackIngress is charged between frame arrival and protocol processing
+	// (NIC interrupt, driver, IP input).
+	StackIngress time.Duration
+	// StackEgress is charged between a send decision and frame transmission
+	// (system call, IP output, driver).
+	StackEgress time.Duration
+	// ForwardDelay is a router's per-datagram forwarding cost.
+	ForwardDelay time.Duration
+	// BridgeDelay is the bridge sublayer's per-segment cost on the send
+	// path (segment construction, checksum updates).
+	BridgeDelay time.Duration
+	// BridgeInbound is the bridge sublayer's per-segment cost on the
+	// receive path (demultiplexing, address translation, queue matching);
+	// charged only on hosts with an inbound hook installed.
+	BridgeInbound time.Duration
+	// JitterMax adds a uniformly random extra delay in [0, JitterMax) to
+	// each ingress/egress charge, modeling OS scheduling noise. Without it
+	// the simulation is so deterministic that medians equal maxima.
+	JitterMax time.Duration
+	// CopyPerKB is the per-kilobyte processing cost (checksum plus copy)
+	// added to every ingress/egress/bridge charge. On the paper's 566 MHz
+	// servers this, not the 100 Mbit/s wire, bounds bulk throughput.
+	CopyPerKB time.Duration
+}
+
+// perByteCost returns the size-dependent part of a packet's service time.
+func (p Profile) perByteCost(payloadLen int) time.Duration {
+	if p.CopyPerKB <= 0 {
+		return 0
+	}
+	return time.Duration(int64(p.CopyPerKB) * int64(payloadLen) / 1024)
+}
+
+// DefaultProfile approximates the paper's 566 MHz Pentium III servers;
+// values are calibrated so the standard-TCP connection setup time lands
+// near the paper's 294 us median (see EXPERIMENTS.md).
+func DefaultProfile() Profile {
+	return Profile{
+		StackIngress:  40 * time.Microsecond,
+		StackEgress:   40 * time.Microsecond,
+		ForwardDelay:  15 * time.Microsecond,
+		BridgeDelay:   60 * time.Microsecond,
+		BridgeInbound: 35 * time.Microsecond,
+		JitterMax:     8 * time.Microsecond,
+		CopyPerKB:     68 * time.Microsecond,
+	}
+}
+
+// InVerdict is an inbound hook's decision.
+type InVerdict int
+
+// Inbound hook decisions.
+const (
+	// VerdictPass continues normal processing with the original datagram.
+	VerdictPass InVerdict = iota + 1
+	// VerdictDeliver delivers the (possibly rewritten) datagram to the
+	// local stack even if its destination is not a local address.
+	VerdictDeliver
+	// VerdictDrop discards the datagram.
+	VerdictDrop
+)
+
+// InboundHook inspects every received TCP datagram — including frames
+// captured promiscuously — before normal IP processing. It may rewrite the
+// header and payload (the secondary bridge's address translation) or
+// consume the datagram (the primary bridge's demultiplexer).
+type InboundHook func(ifIndex int, hdr ipv4.Header, payload []byte) (InVerdict, ipv4.Header, []byte)
+
+// OutboundHook interposes on segments the local TCP layer emits, before IP
+// encapsulation. Returning true consumes the segment (the bridge will emit
+// its own datagrams instead).
+type OutboundHook func(src, dst ipv4.Addr, segment []byte) bool
+
+// ErrHostDown is returned when sending from a crashed host.
+var ErrHostDown = errors.New("netstack: host is down")
+
+// ErrNoRoute is returned when no route matches a destination.
+var ErrNoRoute = errors.New("netstack: no route to host")
+
+// Iface is one attached network interface.
+type Iface struct {
+	host  *Host
+	index int
+	nic   *ethernet.NIC
+	arp   *arp.Module
+	addrs []ipv4.Addr
+}
+
+// NIC exposes the underlying Ethernet interface (promiscuous control).
+func (i *Iface) NIC() *ethernet.NIC { return i.nic }
+
+// ARP exposes the interface's ARP module (cache seeding, announcements).
+func (i *Iface) ARP() *arp.Module { return i.arp }
+
+// Index returns the interface index within its host.
+func (i *Iface) Index() int { return i.index }
+
+// Addrs returns the interface's addresses.
+func (i *Iface) Addrs() []ipv4.Addr {
+	out := make([]ipv4.Addr, len(i.addrs))
+	copy(out, i.addrs)
+	return out
+}
+
+// Addr returns the interface's primary address.
+func (i *Iface) Addr() ipv4.Addr {
+	if len(i.addrs) == 0 {
+		return 0
+	}
+	return i.addrs[0]
+}
+
+// Host is a simulated computer.
+type Host struct {
+	name    string
+	sched   *sim.Scheduler
+	profile Profile
+
+	ifaces     []*Iface
+	routes     ipv4.Table
+	forwarding bool
+	alive      bool
+	ipID       uint16
+
+	tcpCfg   tcp.Config
+	tcpStack *tcp.Stack
+
+	inHook    InboundHook
+	outHook   OutboundHook
+	protocols map[uint8][]func(hdr ipv4.Header, payload []byte)
+
+	// The host CPU is a single serial resource (the paper's servers are
+	// uniprocessors): receive and transmit processing contend for it.
+	cpuBusyUntil time.Duration
+
+	// PacketTap, when set, observes every datagram the host receives
+	// (post-ingress-delay) and sends; used by the trace facility.
+	PacketTap func(dir string, hdr ipv4.Header, payload []byte)
+}
+
+// NewHost creates a host.
+func NewHost(sched *sim.Scheduler, name string, profile Profile) *Host {
+	return &Host{
+		name:      name,
+		sched:     sched,
+		profile:   profile,
+		alive:     true,
+		protocols: make(map[uint8][]func(ipv4.Header, []byte)),
+	}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Scheduler returns the simulation scheduler.
+func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
+
+// Profile returns the host's processing-cost profile.
+func (h *Host) Profile() Profile { return h.profile }
+
+// Alive reports whether the host is running.
+func (h *Host) Alive() bool { return h.alive }
+
+// SetForwarding turns the host into a router.
+func (h *Host) SetForwarding(on bool) { h.forwarding = on }
+
+// SetTCPConfig sets the TCP configuration; it must be called before the
+// first use of TCP.
+func (h *Host) SetTCPConfig(cfg tcp.Config) { h.tcpCfg = cfg }
+
+// TCP returns the host's TCP stack, creating it on first use.
+func (h *Host) TCP() *tcp.Stack {
+	if h.tcpStack == nil {
+		h.tcpStack = tcp.NewStack(h.sched, h.tcpCfg, h.tcpOutput, h.sourceAddrFor)
+	}
+	return h.tcpStack
+}
+
+// AttachIface connects the host to a segment with the given MAC and primary
+// address, installing an on-link route for the prefix.
+func (h *Host) AttachIface(seg *ethernet.Segment, mac ethernet.MAC, addr ipv4.Addr, prefix ipv4.Prefix) *Iface {
+	nic := seg.Attach(mac)
+	ifc := &Iface{host: h, index: len(h.ifaces), nic: nic}
+	if !addr.IsZero() {
+		ifc.addrs = append(ifc.addrs, addr)
+	}
+	ifc.arp = arp.New(h.sched, nic, arp.Config{},
+		func(ip ipv4.Addr) bool { return h.alive && ifc.hasAddr(ip) },
+		func() ipv4.Addr { return ifc.Addr() })
+	nic.SetHandler(func(f ethernet.Frame) { h.frameIn(ifc, f) })
+	h.ifaces = append(h.ifaces, ifc)
+	h.routes.Add(ipv4.Route{Dst: prefix, IfIndex: ifc.index})
+	return ifc
+}
+
+// SetARPConfig replaces an interface's ARP module configuration (used to
+// model the router's ARP-processing latency).
+func (h *Host) SetARPConfig(ifIndex int, cfg arp.Config) {
+	ifc := h.ifaces[ifIndex]
+	ifc.arp = arp.New(h.sched, ifc.nic, cfg,
+		func(ip ipv4.Addr) bool { return h.alive && ifc.hasAddr(ip) },
+		func() ipv4.Addr { return ifc.Addr() })
+}
+
+func (i *Iface) hasAddr(a ipv4.Addr) bool {
+	for _, x := range i.addrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Iface returns the interface at index.
+func (h *Host) Iface(index int) *Iface { return h.ifaces[index] }
+
+// Ifaces returns all interfaces.
+func (h *Host) Ifaces() []*Iface { return h.ifaces }
+
+// AddAddress adds an address to an interface (IP takeover).
+func (h *Host) AddAddress(ifIndex int, addr ipv4.Addr) {
+	ifc := h.ifaces[ifIndex]
+	if !ifc.hasAddr(addr) {
+		ifc.addrs = append(ifc.addrs, addr)
+	}
+}
+
+// RemoveAddress removes an address from an interface.
+func (h *Host) RemoveAddress(ifIndex int, addr ipv4.Addr) {
+	ifc := h.ifaces[ifIndex]
+	for i, x := range ifc.addrs {
+		if x == addr {
+			ifc.addrs = append(ifc.addrs[:i], ifc.addrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddRoute installs a route.
+func (h *Host) AddRoute(dst ipv4.Prefix, nextHop ipv4.Addr, ifIndex int) {
+	h.routes.Add(ipv4.Route{Dst: dst, NextHop: nextHop, IfIndex: ifIndex})
+}
+
+// Owns reports whether addr is local to the host.
+func (h *Host) Owns(addr ipv4.Addr) bool {
+	for _, ifc := range h.ifaces {
+		if ifc.hasAddr(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetInboundHook installs the bridge's inbound interposition point.
+func (h *Host) SetInboundHook(hook InboundHook) { h.inHook = hook }
+
+// SetOutboundHook installs the bridge's outbound interposition point.
+func (h *Host) SetOutboundHook(hook OutboundHook) { h.outHook = hook }
+
+// RegisterProtocol installs a handler for a non-TCP IP protocol (the fault
+// detector's heartbeats use this). Multiple handlers per protocol are
+// supported; each receives every datagram.
+func (h *Host) RegisterProtocol(proto uint8, handler func(hdr ipv4.Header, payload []byte)) {
+	h.protocols[proto] = append(h.protocols[proto], handler)
+}
+
+// Crash stops the host: interfaces go down and all future I/O is dropped.
+// It models fail-stop host or process failure.
+func (h *Host) Crash() {
+	h.alive = false
+	for _, ifc := range h.ifaces {
+		ifc.nic.SetUp(false)
+	}
+}
+
+// Restart brings a crashed host's interfaces back up. (Reintegration of the
+// replication protocol is out of scope, as in the paper; this only restores
+// basic connectivity.)
+func (h *Host) Restart() {
+	h.alive = true
+	for _, ifc := range h.ifaces {
+		ifc.nic.SetUp(true)
+	}
+}
+
+// --- receive path -----------------------------------------------------------
+
+func (h *Host) frameIn(ifc *Iface, f ethernet.Frame) {
+	if !h.alive {
+		return
+	}
+	switch f.Type {
+	case ethernet.TypeARP:
+		ifc.arp.HandleFrame(f)
+	case ethernet.TypeIPv4:
+		hdr, payload, err := ipv4.Unmarshal(f.Payload)
+		if err != nil {
+			return
+		}
+		h.sched.At(h.chargeIngress(len(payload)), "ip.input", func() {
+			h.ipInput(ifc, hdr, payload)
+		})
+	}
+}
+
+func (h *Host) ipInput(ifc *Iface, hdr ipv4.Header, payload []byte) {
+	if !h.alive {
+		return
+	}
+	if h.PacketTap != nil {
+		h.PacketTap("rx", hdr, payload)
+	}
+	if h.inHook != nil && hdr.Protocol == ipv4.ProtoTCP {
+		verdict, nh, np := h.inHook(ifc.index, hdr, payload)
+		switch verdict {
+		case VerdictDrop:
+			return
+		case VerdictDeliver:
+			h.deliverLocal(nh, np)
+			return
+		}
+	}
+	if h.Owns(hdr.Dst) {
+		h.deliverLocal(hdr, payload)
+		return
+	}
+	if h.forwarding {
+		h.forward(hdr, payload)
+	}
+}
+
+func (h *Host) deliverLocal(hdr ipv4.Header, payload []byte) {
+	switch hdr.Protocol {
+	case ipv4.ProtoTCP:
+		h.TCP().Input(hdr.Src, hdr.Dst, payload)
+	default:
+		for _, handler := range h.protocols[hdr.Protocol] {
+			if handler != nil {
+				handler(hdr, payload)
+			}
+		}
+	}
+}
+
+func (h *Host) forward(hdr ipv4.Header, payload []byte) {
+	if hdr.TTL <= 1 {
+		return
+	}
+	hdr.TTL--
+	h.sched.At(h.chargeEgress(h.profile.ForwardDelay, 0), "ip.forward", func() {
+		h.transmit(hdr, payload)
+	})
+}
+
+// chargeIngress reserves the ingress path for one packet and returns the
+// time processing completes. Hosts running a bridge pay its inbound
+// per-segment cost on every received TCP datagram.
+func (h *Host) chargeIngress(payloadLen int) time.Duration {
+	service := h.profile.StackIngress + h.profile.perByteCost(payloadLen)
+	if h.inHook != nil {
+		service += h.profile.BridgeInbound
+	}
+	start := max(h.sched.Now(), h.cpuBusyUntil)
+	h.cpuBusyUntil = start + service + h.jitter()
+	return h.cpuBusyUntil
+}
+
+// chargeEgress reserves the egress path for one packet with the given
+// service time and returns the completion time.
+func (h *Host) chargeEgress(service time.Duration, payloadLen int) time.Duration {
+	start := max(h.sched.Now(), h.cpuBusyUntil)
+	h.cpuBusyUntil = start + service + h.profile.perByteCost(payloadLen) + h.jitter()
+	return h.cpuBusyUntil
+}
+
+func (h *Host) jitter() time.Duration {
+	if h.profile.JitterMax <= 0 {
+		return 0
+	}
+	return time.Duration(h.sched.Rand().Int63n(int64(h.profile.JitterMax)))
+}
+
+// --- send path ----------------------------------------------------------------
+
+// tcpOutput is the TCP stack's Output: the bridge hook interposes here,
+// exactly between the TCP layer and the IP layer.
+func (h *Host) tcpOutput(src, dst ipv4.Addr, segment []byte) error {
+	if !h.alive {
+		return ErrHostDown
+	}
+	if h.outHook != nil && h.outHook(src, dst, segment) {
+		return nil
+	}
+	return h.SendIP(src, dst, ipv4.ProtoTCP, segment)
+}
+
+// SendIP emits a locally originated datagram, charging the stack-egress
+// processing cost.
+func (h *Host) SendIP(src, dst ipv4.Addr, proto uint8, payload []byte) error {
+	if !h.alive {
+		return ErrHostDown
+	}
+	hdr := ipv4.Header{ID: h.ipID, TTL: ipv4.DefaultTTL, Protocol: proto, Src: src, Dst: dst}
+	h.ipID++
+	h.sched.At(h.chargeEgress(h.profile.StackEgress, len(payload)), "ip.output", func() {
+		h.transmit(hdr, payload)
+	})
+	return nil
+}
+
+// SendIPFast emits a datagram with only the bridge processing cost; the
+// bridges use it for segments that never traverse the full local stack.
+func (h *Host) SendIPFast(src, dst ipv4.Addr, proto uint8, payload []byte) error {
+	if !h.alive {
+		return ErrHostDown
+	}
+	hdr := ipv4.Header{ID: h.ipID, TTL: ipv4.DefaultTTL, Protocol: proto, Src: src, Dst: dst}
+	h.ipID++
+	h.sched.At(h.chargeEgress(h.profile.BridgeDelay, len(payload)), "bridge.output", func() {
+		h.transmit(hdr, payload)
+	})
+	return nil
+}
+
+func (h *Host) transmit(hdr ipv4.Header, payload []byte) {
+	if !h.alive {
+		return
+	}
+	if h.PacketTap != nil {
+		h.PacketTap("tx", hdr, payload)
+	}
+	route, ok := h.routes.Lookup(hdr.Dst)
+	if !ok {
+		return
+	}
+	ifc := h.ifaces[route.IfIndex]
+	nextHop := hdr.Dst
+	if !route.NextHop.IsZero() {
+		nextHop = route.NextHop
+	}
+	raw := ipv4.Marshal(hdr, payload)
+	ifc.arp.Resolve(nextHop, func(mac ethernet.MAC, err error) {
+		if err != nil || !h.alive {
+			return
+		}
+		_ = ifc.nic.Send(ethernet.Frame{Dst: mac, Type: ethernet.TypeIPv4, Payload: raw})
+	})
+}
+
+// sourceAddrFor picks the local address for a destination by routing.
+func (h *Host) sourceAddrFor(dst ipv4.Addr) (ipv4.Addr, bool) {
+	route, ok := h.routes.Lookup(dst)
+	if !ok {
+		return 0, false
+	}
+	a := h.ifaces[route.IfIndex].Addr()
+	return a, !a.IsZero()
+}
+
+// String identifies the host in traces.
+func (h *Host) String() string { return fmt.Sprintf("host(%s)", h.name) }

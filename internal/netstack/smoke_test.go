@@ -1,0 +1,189 @@
+package netstack_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// testNet is a two-host LAN used across netstack tests.
+type testNet struct {
+	sched  *sim.Scheduler
+	seg    *ethernet.Segment
+	a, b   *netstack.Host
+	aAddr  ipv4.Addr
+	bAddr  ipv4.Addr
+	prefix ipv4.Prefix
+}
+
+func newTestNet(t *testing.T, segCfg ethernet.Config) *testNet {
+	t.Helper()
+	sched := sim.New(1)
+	seg := ethernet.NewSegment(sched, segCfg)
+	n := &testNet{
+		sched:  sched,
+		seg:    seg,
+		aAddr:  ipv4.MustParseAddr("10.0.0.1"),
+		bAddr:  ipv4.MustParseAddr("10.0.0.2"),
+		prefix: ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.0.0"), 24),
+	}
+	n.a = netstack.NewHost(sched, "a", netstack.DefaultProfile())
+	n.b = netstack.NewHost(sched, "b", netstack.DefaultProfile())
+	n.a.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 1}, n.aAddr, n.prefix)
+	n.b.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 2}, n.bAddr, n.prefix)
+	return n
+}
+
+func TestTCPHandshakeAndEcho(t *testing.T) {
+	n := newTestNet(t, ethernet.Config{})
+
+	var serverGot []byte
+	_, err := n.b.TCP().Listen(80, func(c *tcp.Conn) {
+		buf := make([]byte, 4096)
+		c.OnReadable(func() {
+			for {
+				m, err := c.Read(buf)
+				if m > 0 {
+					serverGot = append(serverGot, buf[:m]...)
+					if _, werr := c.Write(buf[:m]); werr != nil {
+						t.Errorf("server write: %v", werr)
+					}
+				}
+				if err == io.EOF {
+					c.Close()
+					return
+				}
+				if m == 0 {
+					return
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	msg := []byte("hello, replicated world")
+	var clientGot []byte
+	var established, closed bool
+	conn, err := n.a.TCP().Dial(n.bAddr, 80)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.OnEstablished(func() {
+		established = true
+		if _, err := conn.Write(msg); err != nil {
+			t.Errorf("client write: %v", err)
+		}
+	})
+	buf := make([]byte, 4096)
+	conn.OnReadable(func() {
+		for {
+			m, err := conn.Read(buf)
+			if m > 0 {
+				clientGot = append(clientGot, buf[:m]...)
+				if len(clientGot) >= len(msg) {
+					conn.Close()
+				}
+			}
+			if err == io.EOF || m == 0 {
+				return
+			}
+		}
+	})
+	conn.OnClose(func(err error) {
+		closed = true
+		if err != nil {
+			t.Errorf("client close err: %v", err)
+		}
+	})
+
+	if err := n.sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !established {
+		t.Fatal("connection never established")
+	}
+	if !bytes.Equal(serverGot, msg) {
+		t.Errorf("server got %q, want %q", serverGot, msg)
+	}
+	if !bytes.Equal(clientGot, msg) {
+		t.Errorf("client got %q, want %q", clientGot, msg)
+	}
+	if !closed {
+		t.Error("client connection did not close cleanly")
+	}
+}
+
+func TestTCPBulkTransferWithLoss(t *testing.T) {
+	n := newTestNet(t, ethernet.Config{LossRate: 0.02})
+
+	const total = 256 * 1024
+	want := make([]byte, total)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+
+	var got []byte
+	_, err := n.b.TCP().Listen(9000, func(c *tcp.Conn) {
+		buf := make([]byte, 8192)
+		c.OnReadable(func() {
+			for {
+				m, err := c.Read(buf)
+				if m > 0 {
+					got = append(got, buf[:m]...)
+				}
+				if err == io.EOF {
+					c.Close()
+					return
+				}
+				if m == 0 {
+					return
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	conn, err := n.a.TCP().Dial(n.bAddr, 9000)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	sent := 0
+	pump := func() {
+		for sent < total {
+			m, err := conn.Write(want[sent:])
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			if m == 0 {
+				return
+			}
+			sent += m
+		}
+		conn.Close()
+	}
+	conn.OnEstablished(pump)
+	conn.OnWritable(pump)
+
+	if err := n.sched.RunUntil(120 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sent != total {
+		t.Fatalf("only queued %d of %d bytes", sent, total)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("receiver got %d bytes, want %d; content equal=%v",
+			len(got), len(want), bytes.Equal(got, want))
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every component of the simulated network (NICs, protocol timers,
+// applications) schedules work on a single Scheduler. Events execute in
+// strict virtual-time order with stable FIFO tie-breaking, so a simulation
+// with a fixed RNG seed is fully reproducible. Virtual time has nanosecond
+// resolution, which lets the benchmark harness report microsecond-scale
+// latencies the way the paper's testbed measurements do.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrEventLimit is returned by Run when the configured safety limit on the
+// number of executed events is exceeded, which almost always indicates a
+// livelock in the simulated protocols (for example, two stacks
+// retransmitting to each other forever).
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// DefaultEventLimit bounds a single Run call. Large enough for 100 MB
+// stream-transfer experiments, small enough to fail fast on livelock.
+const DefaultEventLimit = 200_000_000
+
+// Event is a scheduled callback. It is created by Scheduler.At/After and can
+// be cancelled with Stop.
+type Event struct {
+	when time.Duration
+	seq  uint64
+	name string
+	fn   func()
+
+	index   int // heap index, -1 when not queued
+	stopped bool
+}
+
+// Stop cancels the event. It reports whether the event had been pending
+// (true) or had already fired or been stopped (false).
+func (e *Event) Stop() bool {
+	if e == nil || e.stopped || e.index < 0 {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to run.
+func (e *Event) Pending() bool { return e != nil && !e.stopped && e.index >= 0 }
+
+// When returns the virtual time at which the event fires.
+func (e *Event) When() time.Duration { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event executor with a virtual
+// clock. It is not safe for concurrent use; all simulated components run
+// inside its event loop.
+type Scheduler struct {
+	now      time.Duration
+	queue    eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	limit    int
+	executed int
+	halted   bool
+}
+
+// New returns a Scheduler whose RNG is seeded with seed, making the entire
+// simulation reproducible.
+func New(seed int64) *Scheduler {
+	return &Scheduler{
+		rng:   rand.New(rand.NewSource(seed)),
+		limit: DefaultEventLimit,
+	}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// SetEventLimit overrides the livelock safety limit for subsequent Run
+// calls. A limit of 0 or below disables the check.
+func (s *Scheduler) SetEventLimit(n int) { s.limit = n }
+
+// Executed returns the total number of events executed so far.
+func (s *Scheduler) Executed() int { return s.executed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event runs after all events already
+// queued for the current instant). The name is used in diagnostics only.
+func (s *Scheduler) At(t time.Duration, name string, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{when: t, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Halt stops the current Run/RunUntil call after the in-flight event
+// completes. Pending events remain queued.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			continue
+		}
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.when
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Halt is called, or the
+// event limit is exceeded.
+func (s *Scheduler) Run() error {
+	s.halted = false
+	start := s.executed
+	for !s.halted {
+		if !s.Step() {
+			return nil
+		}
+		if s.limit > 0 && s.executed-start > s.limit {
+			return fmt.Errorf("%w (%d events, now=%v)", ErrEventLimit, s.executed-start, s.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. It stops early if Halt is called.
+func (s *Scheduler) RunUntil(t time.Duration) error {
+	s.halted = false
+	start := s.executed
+	for !s.halted {
+		if s.queue.Len() == 0 || s.queue[0].when > t {
+			if s.now < t {
+				s.now = t
+			}
+			return nil
+		}
+		s.Step()
+		if s.limit > 0 && s.executed-start > s.limit {
+			return fmt.Errorf("%w (%d events, now=%v)", ErrEventLimit, s.executed-start, s.now)
+		}
+	}
+	return nil
+}
+
+// RunFor executes events for a span d of virtual time from the current
+// instant.
+func (s *Scheduler) RunFor(d time.Duration) error { return s.RunUntil(s.now + d) }
+
+// PendingEvents returns the number of queued (not yet stopped) events.
+func (s *Scheduler) PendingEvents() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}

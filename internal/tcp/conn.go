@@ -1,0 +1,567 @@
+package tcp
+
+import (
+	"io"
+	"time"
+
+	"tcpfailover/internal/sim"
+)
+
+// Conn is one TCP connection endpoint. The API is event-driven and
+// non-blocking: Read and Write transfer whatever the buffers allow, and the
+// OnReadable / OnWritable / OnEstablished / OnClose callbacks signal
+// progress. All methods must be called from the simulation event loop.
+type Conn struct {
+	stack    *Stack
+	tuple    Tuple
+	state    State
+	listener *Listener // non-nil for passively opened connections
+
+	// UserData is free space for the owning application.
+	UserData any
+
+	// Send sequence variables (RFC 793 3.2).
+	iss          Seq
+	sndUna       Seq
+	sndNxt       Seq
+	sndMaxSeq    Seq // highest sequence number ever sent (BSD's snd_max)
+	sndWnd       int
+	maxSndWnd    int // largest window the peer has advertised
+	sndWl1       Seq
+	sndWl2       Seq
+	sndBuf       *ring
+	sndDataStart Seq // sequence number of sndBuf byte 0
+	finQueued    bool
+	finSent      bool
+	finSeq       Seq
+
+	// Receive sequence variables.
+	irs            Seq
+	rcvNxt         Seq
+	rcvBuf         *ring
+	reasm          reassembly
+	remoteFinSeq   Seq
+	remoteFinValid bool
+	peerFinRcvd    bool
+
+	// Congestion control (Reno).
+	mss          int
+	cwnd         int
+	ssthresh     int
+	dupAcks      int
+	fastRecovery bool
+
+	// Acknowledgment strategy.
+	ackPendingSegs int
+	ackNowFlag     bool
+	lastWndSent    int
+
+	// RTT measurement (one segment timed at a time; Karn's rule).
+	rto      *rttEstimator
+	timing   bool
+	timedSeq Seq
+	timedAt  time.Duration
+
+	// Timers.
+	rexmtTimer    *sim.Event
+	delackTimer   *sim.Event
+	timeWaitTimer *sim.Event
+	persistTimer  *sim.Event
+	rtxCount      int
+	persistCount  int
+
+	// Callbacks.
+	onEstablished func()
+	onReadable    func()
+	onWritable    func()
+	onClose       func(error)
+
+	closed   bool
+	closeErr error
+}
+
+func (s *Stack) newConn(t Tuple) *Conn {
+	c := &Conn{
+		stack:       s,
+		tuple:       t,
+		state:       StateClosed,
+		iss:         s.cfg.ISS(s.rng),
+		sndBuf:      newRing(s.cfg.SendBufSize),
+		rcvBuf:      newRing(s.cfg.RecvBufSize),
+		mss:         s.cfg.MSS,
+		ssthresh:    65535,
+		rto:         newRTTEstimator(s.cfg.InitialRTO, s.cfg.MinRTO, s.cfg.MaxRTO),
+		lastWndSent: s.cfg.RecvBufSize,
+	}
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.sndMaxSeq = c.iss
+	c.sndDataStart = c.iss.Add(1)
+	c.cwnd = s.cfg.InitialCwndSegs * c.mss
+	if s.cfg.DisableCongestion {
+		c.cwnd = s.cfg.SendBufSize
+	}
+	return c
+}
+
+// --- public accessors -----------------------------------------------------
+
+// Tuple returns the connection four-tuple.
+func (c *Conn) Tuple() Tuple { return c.tuple }
+
+// State returns the current connection state.
+func (c *Conn) State() State { return c.state }
+
+// Err returns the terminal error, if the connection has failed.
+func (c *Conn) Err() error { return c.closeErr }
+
+// MSS returns the effective maximum segment size.
+func (c *Conn) MSS() int { return c.mss }
+
+// OnEstablished sets the callback fired when the connection reaches
+// ESTABLISHED.
+func (c *Conn) OnEstablished(f func()) { c.onEstablished = f }
+
+// OnReadable sets the callback fired when new data (or EOF) is available.
+func (c *Conn) OnReadable(f func()) { c.onReadable = f }
+
+// OnWritable sets the callback fired when send-buffer space frees up.
+func (c *Conn) OnWritable(f func()) { c.onWritable = f }
+
+// OnClose sets the callback fired exactly once when the connection is fully
+// terminated; err is nil for a clean close.
+func (c *Conn) OnClose(f func(error)) { c.onClose = f }
+
+// Buffered returns the number of receive-buffer bytes available to Read.
+func (c *Conn) Buffered() int { return c.rcvBuf.Len() }
+
+// SendFree returns the send-buffer space available to Write.
+func (c *Conn) SendFree() int { return c.sndBuf.Free() }
+
+// SendQueued returns the bytes in the send buffer not yet acknowledged.
+func (c *Conn) SendQueued() int { return c.sndBuf.Len() }
+
+// --- application API -------------------------------------------------------
+
+// Write copies up to len(p) bytes into the send buffer and starts
+// transmission. It returns the number of bytes accepted; zero means the
+// buffer is full (wait for OnWritable).
+func (c *Conn) Write(p []byte) (int, error) {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynReceived:
+	default:
+		if c.closeErr != nil {
+			return 0, c.closeErr
+		}
+		return 0, ErrClosed
+	}
+	if c.finQueued {
+		return 0, ErrClosed
+	}
+	n := c.sndBuf.Write(p)
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.trySend()
+	}
+	return n, nil
+}
+
+// Read copies buffered data into p. It returns (0, nil) when no data is
+// available yet and (0, io.EOF) after the peer's FIN has been consumed.
+func (c *Conn) Read(p []byte) (int, error) {
+	n := c.rcvBuf.Read(p)
+	if n > 0 {
+		c.maybeSendWindowUpdate()
+		return n, nil
+	}
+	if c.peerFinRcvd {
+		return 0, io.EOF
+	}
+	if c.closeErr != nil {
+		return 0, c.closeErr
+	}
+	return 0, nil
+}
+
+// Close closes the sending direction after all buffered data drains (a
+// half-close; the peer may keep sending). The connection terminates fully
+// once both directions are closed.
+func (c *Conn) Close() {
+	if c.finQueued {
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		c.destroy(nil)
+		return
+	case StateSynReceived, StateEstablished:
+		c.finQueued = true
+		c.state = StateFinWait1
+		c.trySend()
+	case StateCloseWait:
+		c.finQueued = true
+		c.state = StateLastAck
+		c.trySend()
+	default:
+		// Already closing or closed.
+	}
+}
+
+// Abort resets the connection immediately, notifying the peer with RST.
+func (c *Conn) Abort() {
+	switch c.state {
+	case StateClosed:
+		return
+	case StateSynSent, StateListen:
+	default:
+		rst := &Segment{Flags: FlagRST | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
+		c.emit(rst)
+	}
+	c.destroy(ErrAborted)
+}
+
+// --- segment transmission ---------------------------------------------------
+
+func (c *Conn) emit(seg *Segment) {
+	seg.SrcPort = c.tuple.LocalPort
+	seg.DstPort = c.tuple.RemotePort
+	b := Marshal(c.tuple.LocalAddr, c.tuple.RemoteAddr, seg)
+	c.stack.stats.SegmentsOut++
+	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, b)
+}
+
+// setSndWnd records a peer window advertisement, tracking the maximum for
+// the silly-window-avoidance threshold.
+func (c *Conn) setSndWnd(w int) {
+	c.sndWnd = w
+	if w > c.maxSndWnd {
+		c.maxSndWnd = w
+	}
+}
+
+func (c *Conn) advertisedWindow() uint16 {
+	w := c.rcvBuf.Free()
+	if w > 65535 {
+		w = 65535
+	}
+	return uint16(w)
+}
+
+func (c *Conn) sendSYN(withAck bool) {
+	seg := &Segment{
+		Seq:     c.iss,
+		Flags:   FlagSYN,
+		Window:  c.advertisedWindow(),
+		Options: []Option{MSSOption(uint16(c.stack.cfg.MSS))},
+	}
+	if withAck {
+		seg.Flags |= FlagACK
+		seg.Ack = c.rcvNxt
+	}
+	c.sndNxt = c.iss.Add(1)
+	c.sndMaxSeq = MaxSeq(c.sndMaxSeq, c.sndNxt)
+	c.emit(seg)
+	c.armRexmt()
+	if !c.timing {
+		c.timing = true
+		c.timedSeq = c.sndNxt
+		c.timedAt = c.stack.sched.Now()
+	}
+}
+
+// trySend transmits as much pending data (and a queued FIN) as the send
+// window, congestion window, and MSS permit. It returns the number of
+// segments emitted.
+func (c *Conn) trySend() int {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateClosing, StateLastAck:
+	default:
+		return 0
+	}
+	sent := 0
+	for {
+		dataEnd := c.sndDataStart.Add(c.sndBuf.Len())
+		if c.finSent && c.sndNxt.Greater(c.finSeq) {
+			break // everything through the FIN has been (re)sent
+		}
+		unsent := dataEnd.Diff(c.sndNxt)
+		if unsent < 0 {
+			unsent = 0
+		}
+		wnd := c.sndWnd
+		if !c.stack.cfg.DisableCongestion && c.cwnd < wnd {
+			wnd = c.cwnd
+		}
+		inFlight := c.sndNxt.Diff(c.sndUna)
+		avail := wnd - inFlight
+		if avail < 0 {
+			avail = 0
+		}
+		n := min(unsent, c.mss, avail)
+		// The FIN rides the segment that drains the buffer; after an RTO
+		// rollback it is re-sent when sndNxt reaches its position again.
+		sendFin := c.finQueued && n == unsent &&
+			(!c.finSent || c.sndNxt.Add(n) == c.finSeq)
+		if n <= 0 && !(sendFin && unsent == 0) {
+			break
+		}
+		// Sender-side silly-window avoidance (RFC 1122 4.2.3.4): send a
+		// sub-MSS, sub-buffer segment only when it covers at least half
+		// the peer's largest-ever window; otherwise hold until the window
+		// opens (the persist machinery overrides a permanent hold).
+		if n < c.mss && n < unsent && n < max(c.maxSndWnd/2, 1) {
+			break
+		}
+		// Nagle: hold small segments while data is in flight.
+		if n > 0 && n < c.mss && inFlight > 0 && !sendFin &&
+			!c.stack.cfg.DisableNagle && n == unsent {
+			break
+		}
+		// Zero-window: let the persist timer probe.
+		if n == 0 && sendFin && avail == 0 && inFlight > 0 {
+			break
+		}
+		seg := &Segment{
+			Seq:    c.sndNxt,
+			Ack:    c.rcvNxt,
+			Flags:  FlagACK,
+			Window: c.advertisedWindow(),
+		}
+		if n > 0 {
+			payload := make([]byte, n)
+			off := c.sndNxt.Diff(c.sndDataStart)
+			c.sndBuf.Peek(off, payload)
+			seg.Payload = payload
+			// PSH marks the end of a burst: either the buffer drains, or
+			// Nagle is about to hold a sub-MSS remainder until this segment
+			// is acknowledged — the receiver should acknowledge promptly.
+			if n == unsent || (unsent-n < c.mss && !c.stack.cfg.DisableNagle) {
+				seg.Flags |= FlagPSH
+			}
+		}
+		c.sndNxt = c.sndNxt.Add(n)
+		if sendFin {
+			seg.Flags |= FlagFIN
+			if !c.finSent {
+				c.finSent = true
+				c.finSeq = c.sndNxt
+			}
+			c.sndNxt = c.finSeq.Add(1)
+		}
+		c.sndMaxSeq = MaxSeq(c.sndMaxSeq, c.sndNxt)
+		c.emit(seg)
+		sent++
+		c.clearAckPending()
+		if !c.timing && seg.Len() > 0 {
+			c.timing = true
+			c.timedSeq = c.sndNxt
+			c.timedAt = c.stack.sched.Now()
+		}
+		if seg.Len() > 0 {
+			c.armRexmt()
+		}
+	}
+	c.maybeArmPersist()
+	return sent
+}
+
+func (c *Conn) sendAck() {
+	seg := &Segment{
+		Seq:    c.sndNxt,
+		Ack:    c.rcvNxt,
+		Flags:  FlagACK,
+		Window: c.advertisedWindow(),
+	}
+	c.emit(seg)
+	c.clearAckPending()
+}
+
+func (c *Conn) clearAckPending() {
+	c.ackPendingSegs = 0
+	c.ackNowFlag = false
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+		c.delackTimer = nil
+	}
+	c.lastWndSent = c.rcvBuf.Free()
+}
+
+// flushOutput runs at the end of input processing: it piggybacks pending
+// acknowledgments on data if possible, otherwise emits or schedules a pure
+// ACK.
+func (c *Conn) flushOutput() {
+	sent := c.trySend()
+	if sent > 0 {
+		return
+	}
+	if c.ackNowFlag || c.ackPendingSegs >= c.stack.cfg.AckEveryN {
+		c.sendAck()
+		return
+	}
+	if c.ackPendingSegs > 0 && c.delackTimer == nil {
+		c.delackTimer = c.stack.sched.After(c.stack.cfg.DelayedAckTimeout, "tcp.delack", func() {
+			c.delackTimer = nil
+			if c.state != StateClosed {
+				c.sendAck()
+			}
+		})
+	}
+}
+
+// maybeSendWindowUpdate advertises newly freed receive buffer after the
+// application reads, mimicking the "window update" segments real stacks
+// send to restart a stalled sender.
+func (c *Conn) maybeSendWindowUpdate() {
+	if c.state != StateEstablished && c.state != StateFinWait1 && c.state != StateFinWait2 {
+		return
+	}
+	free := c.rcvBuf.Free()
+	if free-c.lastWndSent >= min(2*c.mss, c.rcvBuf.Cap()/2) {
+		c.sendAck()
+	}
+}
+
+// --- timers ------------------------------------------------------------------
+
+func (c *Conn) armRexmt() {
+	if c.rexmtTimer != nil {
+		c.rexmtTimer.Stop()
+	}
+	c.rexmtTimer = c.stack.sched.After(c.rto.RTO(), "tcp.rexmt", c.onRexmtTimeout)
+}
+
+func (c *Conn) stopRexmt() {
+	if c.rexmtTimer != nil {
+		c.rexmtTimer.Stop()
+		c.rexmtTimer = nil
+	}
+	c.rtxCount = 0
+}
+
+func (c *Conn) onRexmtTimeout() {
+	c.rexmtTimer = nil
+	if c.state == StateClosed || c.state == StateTimeWait {
+		return
+	}
+	if c.sndUna == c.sndMaxSeq && c.state != StateSynSent && c.state != StateSynReceived {
+		return // stale timer: everything sent has been acknowledged
+	}
+	c.rtxCount++
+	if c.rtxCount > c.stack.cfg.MaxRetries {
+		c.destroy(ErrTimeout)
+		return
+	}
+	c.stack.stats.Retransmissions++
+	c.rto.backoff()
+	c.timing = false // Karn: do not time retransmitted segments
+	c.dupAcks = 0
+	c.fastRecovery = false
+	if !c.stack.cfg.DisableCongestion {
+		flight := c.sndNxt.Diff(c.sndUna)
+		c.ssthresh = max(flight/2, 2*c.mss)
+		c.cwnd = c.mss
+	}
+	switch c.state {
+	case StateSynSent:
+		c.sendSYN(false)
+		return
+	case StateSynReceived:
+		c.sendSYN(true)
+		return
+	}
+	// Roll back and resend from the left window edge (snd_max keeps the
+	// high-water mark so later acknowledgments remain recognizable).
+	c.sndNxt = c.sndUna
+	if c.trySend() == 0 && c.sndUna != c.sndMaxSeq {
+		// The peer's window (possibly zero) blocks regular transmission,
+		// but unacknowledged data exists: force the front segment out as a
+		// probe. The receiver trims it to its window yet must process the
+		// acknowledgment, which is what breaks zero-window gridlocks after
+		// a failover gap.
+		c.retransmitOne()
+	}
+	c.armRexmt()
+}
+
+// maybeArmPersist arms the persist timer whenever data is pending but
+// nothing is in flight and trySend declined to transmit — a zero window or
+// a silly-window hold. The probe doubles as BSD's SWS override.
+func (c *Conn) maybeArmPersist() {
+	dataEnd := c.sndDataStart.Add(c.sndBuf.Len())
+	unsent := dataEnd.Diff(c.sndNxt)
+	if unsent > 0 && c.sndNxt == c.sndUna && c.persistTimer == nil && c.rexmtTimer == nil {
+		c.persistCount = 0
+		c.armPersist()
+	}
+}
+
+func (c *Conn) armPersist() {
+	d := c.rto.RTO() * time.Duration(1<<min(c.persistCount, 6))
+	c.persistTimer = c.stack.sched.After(d, "tcp.persist", func() {
+		c.persistTimer = nil
+		if c.state == StateClosed {
+			return
+		}
+		// If regular transmission has resumed, stand down.
+		if c.trySend() > 0 || c.sndNxt != c.sndUna {
+			return
+		}
+		// Window probe / SWS override: force out data starting at the
+		// first unacknowledged byte — one byte into a zero window, or as
+		// much as the sub-MSS window allows. The receiver trims it to its
+		// window but must process the ACK field.
+		off := c.sndUna.Diff(c.sndDataStart)
+		if off < 0 {
+			off = 0
+		}
+		if off < c.sndBuf.Len() {
+			n := min(c.sndBuf.Len()-off, c.mss, max(c.sndWnd, 1))
+			p := make([]byte, n)
+			c.sndBuf.Peek(off, p)
+			seg := &Segment{
+				Seq:     c.sndUna,
+				Ack:     c.rcvNxt,
+				Flags:   FlagACK | FlagPSH,
+				Window:  c.advertisedWindow(),
+				Payload: p,
+			}
+			c.sndNxt = MaxSeq(c.sndNxt, c.sndUna.Add(n))
+			c.sndMaxSeq = MaxSeq(c.sndMaxSeq, c.sndNxt)
+			c.emit(seg)
+			c.armRexmt()
+			return
+		}
+		c.persistCount++
+		c.armPersist()
+	})
+}
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.stopRexmt()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.timeWaitTimer = c.stack.sched.After(c.stack.cfg.TimeWaitDuration, "tcp.timewait", func() {
+		c.timeWaitTimer = nil
+		c.destroy(nil)
+	})
+}
+
+// destroy tears the connection down and fires OnClose exactly once.
+func (c *Conn) destroy(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	c.state = StateClosed
+	for _, t := range []*sim.Event{c.rexmtTimer, c.delackTimer, c.timeWaitTimer, c.persistTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	c.stack.removeConn(c)
+	if c.onClose != nil {
+		c.onClose(err)
+	}
+}

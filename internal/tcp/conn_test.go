@@ -1,0 +1,505 @@
+package tcp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+)
+
+// pair wires two stacks together through the scheduler with a fixed
+// one-way delay and controllable loss, bypassing the full netstack — pure
+// TCP state-machine testing.
+type pair struct {
+	sched    *sim.Scheduler
+	a, b     *Stack
+	aAddr    ipv4.Addr
+	bAddr    ipv4.Addr
+	delay    time.Duration
+	dropToB  func(seg []byte) bool
+	dropToA  func(seg []byte) bool
+	toBCount int
+	toACount int
+}
+
+func newPair(t *testing.T, cfg Config) *pair {
+	t.Helper()
+	p := &pair{
+		sched: sim.New(1),
+		aAddr: ipv4.MustParseAddr("10.0.0.1"),
+		bAddr: ipv4.MustParseAddr("10.0.0.2"),
+		delay: 500 * time.Microsecond,
+	}
+	p.a = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, seg []byte) error {
+		p.toBCount++
+		if p.dropToB != nil && p.dropToB(seg) {
+			return nil
+		}
+		cp := append([]byte(nil), seg...)
+		p.sched.After(p.delay, "pipe.ab", func() { p.b.Input(src, dst, cp) })
+		return nil
+	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.aAddr, true })
+	p.b = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, seg []byte) error {
+		p.toACount++
+		if p.dropToA != nil && p.dropToA(seg) {
+			return nil
+		}
+		cp := append([]byte(nil), seg...)
+		p.sched.After(p.delay, "pipe.ba", func() { p.a.Input(src, dst, cp) })
+		return nil
+	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.bAddr, true })
+	return p
+}
+
+// connect establishes a connection from a to b:port and returns both ends.
+func (p *pair) connect(t *testing.T, port uint16) (client, server *Conn) {
+	t.Helper()
+	if _, err := p.b.Listen(port, func(c *Conn) { server = c }); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.a.Dial(p.bAddr, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	established := false
+	c.OnEstablished(func() { established = true })
+	p.runUntil(t, func() bool { return established && server != nil }, time.Second)
+	return c, server
+}
+
+func (p *pair) runUntil(t *testing.T, cond func() bool, max time.Duration) {
+	t.Helper()
+	deadline := p.sched.Now() + max
+	for !cond() {
+		if p.sched.Now() > deadline {
+			t.Fatalf("condition not met by %v", max)
+		}
+		if !p.sched.Step() {
+			if cond() {
+				return
+			}
+			t.Fatalf("event queue empty at %v before condition", p.sched.Now())
+		}
+	}
+}
+
+func TestHandshakeStates(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	if c.State() != StateEstablished || s.State() != StateEstablished {
+		t.Fatalf("states after handshake: %v / %v", c.State(), s.State())
+	}
+	if c.MSS() != 1460 || s.MSS() != 1460 {
+		t.Errorf("negotiated MSS %d/%d", c.MSS(), s.MSS())
+	}
+}
+
+func TestMSSNegotiationTakesMinimum(t *testing.T) {
+	p := newPair(t, Config{})
+	// Rebuild b with a smaller MSS.
+	small := Config{MSS: 536}
+	p.b = NewStack(p.sched, small, func(src, dst ipv4.Addr, seg []byte) error {
+		cp := append([]byte(nil), seg...)
+		p.sched.After(p.delay, "pipe.ba", func() { p.a.Input(src, dst, cp) })
+		return nil
+	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.bAddr, true })
+	c, s := p.connect(t, 80)
+	if c.MSS() != 536 || s.MSS() != 536 {
+		t.Errorf("negotiated MSS %d/%d, want 536", c.MSS(), s.MSS())
+	}
+}
+
+func TestDataTransferBothDirections(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+
+	var atServer, atClient []byte
+	buf := make([]byte, 4096)
+	s.OnReadable(func() {
+		for {
+			n, _ := s.Read(buf)
+			if n == 0 {
+				return
+			}
+			atServer = append(atServer, buf[:n]...)
+		}
+	})
+	c.OnReadable(func() {
+		for {
+			n, _ := c.Read(buf)
+			if n == 0 {
+				return
+			}
+			atClient = append(atClient, buf[:n]...)
+		}
+	})
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	p.runUntil(t, func() bool {
+		return string(atServer) == "ping" && string(atClient) == "pong"
+	}, time.Second)
+}
+
+func TestGracefulCloseStateWalk(t *testing.T) {
+	p := newPair(t, Config{TimeWaitDuration: 10 * time.Millisecond})
+	c, s := p.connect(t, 80)
+
+	var cClosed, sClosed bool
+	var cErr, sErr error
+	c.OnClose(func(err error) { cClosed, cErr = true, err })
+	s.OnClose(func(err error) { sClosed, sErr = true, err })
+	sSawEOF := false
+	s.OnReadable(func() {
+		if _, err := s.Read(make([]byte, 1)); err == io.EOF {
+			sSawEOF = true
+			s.Close()
+		}
+	})
+	c.Close() // active close on the client
+
+	p.runUntil(t, func() bool { return cClosed && sClosed }, time.Second)
+	if !sSawEOF {
+		t.Error("server never observed EOF")
+	}
+	if cErr != nil || sErr != nil {
+		t.Errorf("close errors: %v / %v", cErr, sErr)
+	}
+}
+
+func TestHalfCloseAllowsContinuedTransfer(t *testing.T) {
+	p := newPair(t, Config{TimeWaitDuration: 10 * time.Millisecond})
+	c, s := p.connect(t, 80)
+
+	var atClient []byte
+	buf := make([]byte, 4096)
+	gotEOF := false
+	c.OnReadable(func() {
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				atClient = append(atClient, buf[:n]...)
+				continue
+			}
+			if err == io.EOF {
+				gotEOF = true
+			}
+			return
+		}
+	})
+	// Client half-closes immediately; server keeps sending afterward.
+	c.Close()
+	serverSends := func() {
+		sEOF := false
+		s.OnReadable(func() {
+			if _, err := s.Read(make([]byte, 16)); err == io.EOF && !sEOF {
+				sEOF = true
+				if _, err := s.Write([]byte("late data after client FIN")); err != nil {
+					t.Errorf("server write in CLOSE-WAIT: %v", err)
+				}
+				s.Close()
+			}
+		})
+	}
+	serverSends()
+	p.runUntil(t, func() bool { return gotEOF }, time.Second)
+	if string(atClient) != "late data after client FIN" {
+		t.Errorf("client got %q", atClient)
+	}
+	if c.State() != StateTimeWait && c.State() != StateClosed {
+		t.Errorf("client state %v after full close", c.State())
+	}
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	p := newPair(t, Config{TimeWaitDuration: 10 * time.Millisecond})
+	c, s := p.connect(t, 80)
+	var cClosed, sClosed bool
+	c.OnClose(func(error) { cClosed = true })
+	s.OnClose(func(error) { sClosed = true })
+	c.Close()
+	s.Close() // both FINs cross in flight
+	p.runUntil(t, func() bool { return cClosed && sClosed }, 5*time.Second)
+}
+
+func TestConnectionRefusedGetsRST(t *testing.T) {
+	p := newPair(t, Config{})
+	c, err := p.a.Dial(p.bAddr, 9999) // nobody listens
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	closed := false
+	c.OnClose(func(err error) { closed, gotErr = true, err })
+	p.runUntil(t, func() bool { return closed }, time.Second)
+	if gotErr != ErrConnRefused {
+		t.Errorf("close error = %v, want ErrConnRefused", gotErr)
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	var sErr error
+	sClosed := false
+	s.OnClose(func(err error) { sClosed, sErr = true, err })
+	c.Abort()
+	if c.Err() != ErrAborted {
+		t.Errorf("aborter error = %v", c.Err())
+	}
+	p.runUntil(t, func() bool { return sClosed }, time.Second)
+	if sErr != ErrConnReset {
+		t.Errorf("peer error = %v, want ErrConnReset", sErr)
+	}
+}
+
+func TestRetransmissionRecoversSingleLoss(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	var atServer []byte
+	buf := make([]byte, 4096)
+	s.OnReadable(func() {
+		for {
+			n, _ := s.Read(buf)
+			if n == 0 {
+				return
+			}
+			atServer = append(atServer, buf[:n]...)
+		}
+	})
+	// Drop the first data segment toward the server.
+	dropped := false
+	p.dropToB = func(seg []byte) bool {
+		if !dropped && len(RawPayload(seg)) > 0 {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	want := []byte("must arrive despite the loss")
+	if _, err := c.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	p.runUntil(t, func() bool { return bytes.Equal(atServer, want) }, 5*time.Second)
+	if !dropped {
+		t.Fatal("loss injector never fired")
+	}
+	if p.a.Stats().Retransmissions == 0 {
+		t.Error("no retransmissions recorded")
+	}
+}
+
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	var got int
+	buf := make([]byte, 65536)
+	s.OnReadable(func() {
+		for {
+			n, _ := s.Read(buf)
+			if n == 0 {
+				return
+			}
+			got += n
+		}
+	})
+	// Drop exactly one mid-stream segment so later segments generate dup
+	// acks (the stream is long enough for 3 duplicates).
+	seen := 0
+	p.dropToB = func(seg []byte) bool {
+		if len(RawPayload(seg)) > 0 {
+			seen++
+			return seen == 8
+		}
+		return false
+	}
+	data := make([]byte, 30000)
+	sent := 0
+	pump := func() {
+		for sent < len(data) {
+			n, _ := c.Write(data[sent:])
+			if n == 0 {
+				return
+			}
+			sent += n
+		}
+	}
+	c.OnWritable(pump)
+	pump()
+	p.runUntil(t, func() bool { return got == len(data) }, 5*time.Second)
+	if p.a.Stats().FastRetransmits == 0 {
+		t.Error("loss recovered without fast retransmit (RTO only)")
+	}
+	// Fast retransmit should beat the minimum RTO.
+	if p.sched.Now() >= 200*time.Millisecond {
+		t.Errorf("recovery took %v, want < min RTO via fast retransmit", p.sched.Now())
+	}
+}
+
+func TestZeroWindowAndPersistProbe(t *testing.T) {
+	p := newPair(t, Config{RecvBufSize: 4096})
+	c, s := p.connect(t, 80)
+	// The server application reads nothing: the 4 KB window fills and the
+	// client must stall, then recover once the app drains.
+	data := make([]byte, 16384)
+	sent := 0
+	pump := func() {
+		for sent < len(data) {
+			n, _ := c.Write(data[sent:])
+			if n == 0 {
+				return
+			}
+			sent += n
+		}
+	}
+	c.OnWritable(pump)
+	pump()
+	p.runUntil(t, func() bool { return s.Buffered() == 4096 }, 5*time.Second)
+
+	// Drain after a long stall; the persist machinery must revive the flow.
+	var got int
+	p.sched.After(2*time.Second, "drain", func() {
+		buf := make([]byte, 4096)
+		var drain func()
+		drain = func() {
+			for {
+				n, _ := s.Read(buf)
+				if n == 0 {
+					return
+				}
+				got += n
+			}
+		}
+		s.OnReadable(drain)
+		drain()
+	})
+	p.runUntil(t, func() bool { return got == len(data) }, 120*time.Second)
+}
+
+func TestDelayedAckCoalesces(t *testing.T) {
+	p := newPair(t, Config{DisableNagle: true})
+	c, s := p.connect(t, 80)
+	_ = s
+	before := p.toACount
+	// A single small segment: the ack should wait for the delayed-ack
+	// timer rather than being sent immediately.
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.runUntil(t, func() bool { return s.Buffered() == 1 }, time.Second)
+	ackedImmediately := p.toACount > before
+	if ackedImmediately {
+		t.Skip("segment carried PSH; immediate ack is the configured policy")
+	}
+	now := p.sched.Now()
+	p.runUntil(t, func() bool { return p.toACount > before }, time.Second)
+	if p.sched.Now()-now < 100*time.Millisecond {
+		t.Errorf("ack arrived after %v, want delayed-ack timeout", p.sched.Now()-now)
+	}
+}
+
+func TestPortsAndTuples(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	ct, st := c.Tuple(), s.Tuple()
+	if ct.RemotePort != 80 || st.LocalPort != 80 {
+		t.Errorf("ports: %v / %v", ct, st)
+	}
+	if ct.LocalPort != st.RemotePort {
+		t.Errorf("ephemeral port mismatch: %v / %v", ct, st)
+	}
+	if ct.LocalAddr != p.aAddr || ct.RemoteAddr != p.bAddr {
+		t.Errorf("client tuple addresses: %v", ct)
+	}
+}
+
+func TestListenerRejectsDuplicatePort(t *testing.T) {
+	p := newPair(t, Config{})
+	if _, err := p.b.Listen(80, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.b.Listen(80, nil); err == nil {
+		t.Error("duplicate listen succeeded")
+	}
+}
+
+func TestListenerCloseStopsAccepting(t *testing.T) {
+	p := newPair(t, Config{})
+	l, err := p.b.Listen(80, func(*Conn) { t.Error("accepted after close") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	c, err := p.a.Dial(p.bAddr, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refused := false
+	c.OnClose(func(err error) { refused = err == ErrConnRefused })
+	p.runUntil(t, func() bool { return refused }, time.Second)
+}
+
+func TestRebindMovesConnection(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	_ = c
+	newLocal := ipv4.MustParseAddr("10.0.0.99")
+	if err := p.b.Rebind(s.Tuple(), newLocal); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tuple().LocalAddr != newLocal {
+		t.Errorf("tuple local = %v", s.Tuple().LocalAddr)
+	}
+	if _, ok := p.b.Lookup(s.Tuple()); !ok {
+		t.Error("connection not reachable under the new tuple")
+	}
+	if err := p.b.Rebind(s.Tuple(), newLocal); err == nil {
+		t.Error("rebind onto itself should conflict")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	p := newPair(t, Config{})
+	c, _ := p.connect(t, 80)
+	c.Close()
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+// TestRTORollbackAckBeyondSndNxt reproduces the failover-adjacent bug where
+// an acknowledgment arriving after an RTO rollback covers data beyond the
+// rolled-back sndNxt; it must be accepted (snd_max semantics), not treated
+// as an ack of unsent data.
+func TestRTORollbackAckBeyondSndNxt(t *testing.T) {
+	p := newPair(t, Config{})
+	c, s := p.connect(t, 80)
+	var got int
+	buf := make([]byte, 65536)
+	s.OnReadable(func() {
+		for {
+			n, _ := s.Read(buf)
+			if n == 0 {
+				return
+			}
+			got += n
+		}
+	})
+	// Drop every ACK from the server for a while so the client RTOs and
+	// rolls back, while the server actually has the data.
+	blocked := true
+	p.dropToA = func(seg []byte) bool { return blocked && len(RawPayload(seg)) == 0 }
+	p.sched.After(700*time.Millisecond, "unblock", func() { blocked = false })
+
+	data := make([]byte, 8000)
+	if _, err := c.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	p.runUntil(t, func() bool { return got == len(data) && c.SendQueued() == 0 }, 30*time.Second)
+}

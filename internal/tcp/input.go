@@ -1,0 +1,411 @@
+package tcp
+
+// Segment arrival processing (RFC 793 section 3.9, "SEGMENT ARRIVES").
+
+func (c *Conn) input(seg *Segment) {
+	switch c.state {
+	case StateClosed:
+		return
+	case StateSynSent:
+		c.inputSynSent(seg)
+		return
+	}
+
+	acceptable := c.segAcceptable(seg)
+	if !acceptable && seg.Flags.Has(FlagRST) {
+		return // out-of-window RSTs are ignored (blind-reset protection)
+	}
+
+	if seg.Flags.Has(FlagRST) {
+		switch c.state {
+		case StateSynReceived:
+			// Passive open returns to LISTEN: just drop the embryo.
+			c.destroy(ErrConnRefused)
+		case StateTimeWait, StateLastAck, StateClosing:
+			c.destroy(nil)
+		default:
+			c.destroy(ErrConnReset)
+		}
+		return
+	}
+
+	if seg.Flags.Has(FlagSYN) && seg.Seq.Geq(c.rcvNxt) {
+		// SYN in the window is an error; reset.
+		rst := &Segment{Flags: FlagRST | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
+		c.emit(rst)
+		c.destroy(ErrConnReset)
+		return
+	}
+
+	if !seg.Flags.Has(FlagACK) {
+		return
+	}
+
+	if c.state == StateSynReceived {
+		if c.sndUna.Leq(seg.Ack) && seg.Ack.Leq(c.sndNxt) {
+			c.state = StateEstablished
+			c.setSndWnd(int(seg.Window))
+			c.sndWl1 = seg.Seq
+			c.sndWl2 = seg.Ack
+			c.stopRexmt()
+			if c.listener != nil && c.listener.onAccept != nil {
+				c.listener.onAccept(c)
+			}
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+		} else {
+			c.stack.sendRST(c.tuple, seg)
+			return
+		}
+	}
+
+	// The acknowledgment and window fields are processed even for
+	// sequence-unacceptable segments: after retransmission rollbacks or a
+	// failover gap against a zero window, the peer's acknowledgments may
+	// only ever arrive in such segments, and discarding them gridlocks the
+	// connection (see segAcceptable).
+	if !c.processAck(seg) {
+		return
+	}
+	if !acceptable {
+		if seg.Len() > 0 {
+			// Answer data we cannot accept with a duplicate ACK so the
+			// peer resynchronizes; pure ACKs are not answered (answering
+			// them is how two desynchronized endpoints start an ACK war).
+			c.sendAck()
+		}
+		if c.state != StateClosed {
+			c.flushOutput()
+		}
+		return
+	}
+	c.processPayload(seg)
+	c.processFin(seg)
+	if c.state != StateClosed {
+		c.flushOutput()
+	}
+}
+
+func (c *Conn) inputSynSent(seg *Segment) {
+	if seg.Flags.Has(FlagACK) {
+		if seg.Ack.Leq(c.iss) || seg.Ack.Greater(c.sndNxt) {
+			if !seg.Flags.Has(FlagRST) {
+				c.stack.sendRST(c.tuple, seg)
+			}
+			return
+		}
+	}
+	if seg.Flags.Has(FlagRST) {
+		if seg.Flags.Has(FlagACK) {
+			c.destroy(ErrConnRefused)
+		}
+		return
+	}
+	if !seg.Flags.Has(FlagSYN) {
+		return
+	}
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq.Add(1)
+	if mss, ok := seg.MSS(); ok {
+		c.mss = min(c.mss, int(mss))
+		if !c.stack.cfg.DisableCongestion {
+			c.cwnd = c.stack.cfg.InitialCwndSegs * c.mss
+		}
+	}
+	c.setSndWnd(int(seg.Window))
+	c.sndWl1 = seg.Seq
+	c.sndWl2 = seg.Ack
+	if seg.Flags.Has(FlagACK) {
+		c.sndUna = seg.Ack
+		c.sampleRTT(seg.Ack)
+	}
+	if c.sndUna.Greater(c.iss) {
+		c.state = StateEstablished
+		c.stopRexmt()
+		c.sendAck()
+		if c.onEstablished != nil {
+			c.onEstablished()
+		}
+		c.processPayload(seg)
+		c.processFin(seg)
+		if c.state != StateClosed {
+			c.flushOutput()
+		}
+		return
+	}
+	// Simultaneous open.
+	c.state = StateSynReceived
+	c.sendSYN(true)
+}
+
+// segAcceptable implements the window acceptability test the way BSD
+// stacks do rather than RFC 793's literal four cases: any segment that
+// begins at or before rcvNxt is acceptable — the duplicate prefix is
+// trimmed away, but the ACK and window fields are processed. Zero-window
+// probes, in-order data arriving at a full buffer, and old-sequence pure
+// ACKs (which appear after retransmission rollbacks) all carry
+// acknowledgments that must not be discarded; a strict-RFC receiver pair
+// can otherwise ACK-war or gridlock forever. Segments beginning beyond
+// rcvNxt are accepted only if they overlap the receive window.
+func (c *Conn) segAcceptable(seg *Segment) bool {
+	if seg.Seq.Leq(c.rcvNxt) {
+		return true
+	}
+	wnd := c.rcvBuf.Free()
+	return seg.Seq.InWindow(c.rcvNxt, wnd)
+}
+
+// processAck handles the acknowledgment field; it reports whether segment
+// processing should continue.
+func (c *Conn) processAck(seg *Segment) bool {
+	ack := seg.Ack
+	if ack.Greater(c.sndMaxSeq) {
+		// Ack for data never sent.
+		c.sendAck()
+		return false
+	}
+	if ack.Greater(c.sndUna) {
+		c.handleNewAck(ack)
+	} else if ack == c.sndUna && seg.Len() == 0 && int(seg.Window) == c.sndWnd &&
+		c.sndNxt != c.sndUna {
+		c.handleDupAck()
+	}
+
+	// Window update (RFC 793 ordering rule).
+	if c.sndWl1.Less(seg.Seq) || (c.sndWl1 == seg.Seq && c.sndWl2.Leq(ack)) {
+		oldWnd := c.sndWnd
+		c.setSndWnd(int(seg.Window))
+		c.sndWl1 = seg.Seq
+		c.sndWl2 = ack
+		if c.sndWnd > 0 && c.persistTimer != nil {
+			c.persistTimer.Stop()
+			c.persistTimer = nil
+		}
+		if c.sndWnd > oldWnd {
+			c.trySend()
+		}
+	}
+
+	finAcked := c.finSent && ack.Greater(c.finSeq)
+	switch c.state {
+	case StateFinWait1:
+		if finAcked {
+			c.state = StateFinWait2
+		}
+	case StateClosing:
+		if finAcked {
+			c.enterTimeWait()
+		}
+	case StateLastAck:
+		if finAcked {
+			c.destroy(nil)
+			return false
+		}
+	case StateTimeWait:
+		// A retransmitted FIN: re-ack and restart 2 MSL.
+		if seg.Flags.Has(FlagFIN) {
+			c.sendAck()
+			c.enterTimeWait()
+		}
+		return false
+	}
+	return true
+}
+
+func (c *Conn) handleNewAck(ack Seq) {
+	acked := ack.Diff(c.sndUna)
+	consume := ack.Diff(c.sndDataStart)
+	if consume > c.sndBuf.Len() {
+		consume = c.sndBuf.Len() // SYN/FIN consume sequence space, not buffer
+	}
+	if consume > 0 {
+		c.sndBuf.Consume(consume)
+		c.sndDataStart = c.sndDataStart.Add(consume)
+	}
+	c.sndUna = ack
+	if c.sndNxt.Less(c.sndUna) {
+		c.sndNxt = c.sndUna // an ack beyond a rolled-back sndNxt restores it
+	}
+	c.rtxCount = 0
+	c.sampleRTT(ack)
+
+	if !c.stack.cfg.DisableCongestion {
+		if c.fastRecovery {
+			c.cwnd = c.ssthresh
+			c.fastRecovery = false
+		} else if c.cwnd < c.ssthresh {
+			c.cwnd += min(acked, c.mss)
+		} else {
+			c.cwnd += max(c.mss*c.mss/c.cwnd, 1)
+		}
+	}
+	c.dupAcks = 0
+
+	if c.sndUna == c.sndMaxSeq {
+		c.stopRexmt()
+	} else {
+		c.armRexmt()
+	}
+	if c.onWritable != nil && c.sndBuf.Free() > 0 {
+		c.onWritable()
+	}
+}
+
+func (c *Conn) handleDupAck() {
+	c.stack.stats.DupAcksIn++
+	if c.stack.cfg.DisableCongestion {
+		return
+	}
+	c.dupAcks++
+	switch {
+	case c.dupAcks == 3:
+		// Fast retransmit (Reno).
+		c.stack.stats.FastRetransmits++
+		flight := c.sndNxt.Diff(c.sndUna)
+		c.ssthresh = max(flight/2, 2*c.mss)
+		c.retransmitOne()
+		c.cwnd = c.ssthresh + 3*c.mss
+		c.fastRecovery = true
+	case c.dupAcks > 3:
+		c.cwnd += c.mss
+		c.trySend()
+	}
+}
+
+// retransmitOne resends the segment at the left edge of the send window.
+func (c *Conn) retransmitOne() {
+	off := c.sndUna.Diff(c.sndDataStart)
+	n := min(c.mss, c.sndBuf.Len()-off)
+	seg := &Segment{
+		Seq:    c.sndUna,
+		Ack:    c.rcvNxt,
+		Flags:  FlagACK,
+		Window: c.advertisedWindow(),
+	}
+	if n > 0 {
+		p := make([]byte, n)
+		c.sndBuf.Peek(off, p)
+		seg.Payload = p
+	} else if c.finSent && c.finSeq == c.sndUna {
+		seg.Flags |= FlagFIN
+	} else {
+		return
+	}
+	c.timing = false // Karn
+	c.stack.stats.Retransmissions++
+	c.emit(seg)
+}
+
+func (c *Conn) sampleRTT(ack Seq) {
+	if c.timing && ack.Geq(c.timedSeq) {
+		c.rto.sample(c.stack.sched.Now() - c.timedAt)
+		c.timing = false
+	}
+}
+
+// processPayload trims the segment text to the receive window and delivers
+// in-order bytes to the receive buffer.
+func (c *Conn) processPayload(seg *Segment) {
+	if len(seg.Payload) == 0 {
+		return
+	}
+	switch c.state {
+	case StateEstablished, StateFinWait1, StateFinWait2:
+	default:
+		return // text after CLOSE is ignored
+	}
+	payload := seg.Payload
+	start := seg.Seq
+	if seg.Flags.Has(FlagSYN) {
+		start = start.Add(1)
+	}
+	// Trim the already-received prefix.
+	if start.Less(c.rcvNxt) {
+		skip := c.rcvNxt.Diff(start)
+		if skip >= len(payload) {
+			c.ackNowFlag = true // pure duplicate: ack immediately
+			return
+		}
+		payload = payload[skip:]
+		start = c.rcvNxt
+	}
+	// Trim to the window.
+	limit := c.rcvNxt.Add(c.rcvBuf.Free())
+	if start.Add(len(payload)).Greater(limit) {
+		keep := limit.Diff(start)
+		if keep <= 0 {
+			c.ackNowFlag = true
+			return
+		}
+		payload = payload[:keep]
+	}
+
+	if start == c.rcvNxt {
+		n := c.rcvBuf.Write(payload)
+		c.rcvNxt = c.rcvNxt.Add(n)
+		if more := c.reasm.pop(c.rcvNxt); len(more) > 0 {
+			m := c.rcvBuf.Write(more)
+			c.rcvNxt = c.rcvNxt.Add(m)
+			if m < len(more) {
+				c.reasm.insert(c.rcvNxt, more[m:])
+			}
+		}
+		c.ackPendingSegs++
+		if seg.Flags.Has(FlagPSH) {
+			// A pushed segment ends a burst; holding its acknowledgment
+			// for the delayed-ack timer would stall Nagle-bound senders.
+			c.ackNowFlag = true
+		}
+		if len(payload) >= c.mss {
+			// Full-sized segments count toward ack-every-N; small ones ride
+			// the delayed-ack timer.
+		} else {
+			c.ackPendingSegs = max(c.ackPendingSegs, 1)
+		}
+		if !c.reasm.empty() {
+			c.ackNowFlag = true
+		}
+		if c.onReadable != nil {
+			c.onReadable()
+		}
+	} else {
+		// Out of order: stash and send an immediate duplicate ACK.
+		c.reasm.insert(start, payload)
+		c.ackNowFlag = true
+	}
+}
+
+// processFin handles the FIN bit once all preceding data is in.
+func (c *Conn) processFin(seg *Segment) {
+	if seg.Flags.Has(FlagFIN) {
+		fs := seg.Seq.Add(len(seg.Payload))
+		if seg.Flags.Has(FlagSYN) {
+			fs = fs.Add(1)
+		}
+		if !c.remoteFinValid || fs.Less(c.remoteFinSeq) {
+			c.remoteFinSeq = fs
+			c.remoteFinValid = true
+		}
+	}
+	if !c.remoteFinValid || c.peerFinRcvd || c.remoteFinSeq != c.rcvNxt {
+		return
+	}
+	switch c.state {
+	case StateEstablished, StateSynReceived:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked (else we'd be in FIN-WAIT-2).
+		c.state = StateClosing
+	case StateFinWait2:
+		defer c.enterTimeWait()
+	default:
+		return
+	}
+	c.rcvNxt = c.rcvNxt.Add(1)
+	c.peerFinRcvd = true
+	c.ackNowFlag = true
+	if c.onReadable != nil {
+		c.onReadable() // EOF is now observable
+	}
+}

@@ -1,0 +1,246 @@
+package tcp
+
+import (
+	"tcpfailover/internal/checksum"
+	"tcpfailover/internal/ipv4"
+)
+
+// This file implements the raw-segment surgery the failover bridges
+// perform. The bridges sit below the TCP layer and operate on marshaled
+// segments; all mutators maintain the TCP checksum incrementally rather
+// than recomputing it (paper section 3.1: "we subtract the original bytes
+// from the checksum, and add the new bytes").
+
+// Raw field readers. All assume a well-formed segment (len >= HeaderLen).
+
+// RawSrcPort reads the source port of a marshaled segment.
+func RawSrcPort(b []byte) uint16 { return getU16(b[0:]) }
+
+// RawDstPort reads the destination port of a marshaled segment.
+func RawDstPort(b []byte) uint16 { return getU16(b[2:]) }
+
+// RawSeq reads the sequence number of a marshaled segment.
+func RawSeq(b []byte) Seq { return Seq(getU32(b[4:])) }
+
+// RawAck reads the acknowledgment number of a marshaled segment.
+func RawAck(b []byte) Seq { return Seq(getU32(b[8:])) }
+
+// RawFlags reads the control flags of a marshaled segment.
+func RawFlags(b []byte) Flags { return Flags(b[13]) }
+
+// RawWindow reads the advertised window of a marshaled segment.
+func RawWindow(b []byte) uint16 { return getU16(b[14:]) }
+
+// RawChecksum reads the checksum field of a marshaled segment.
+func RawChecksum(b []byte) uint16 { return getU16(b[16:]) }
+
+// RawHeaderLen returns the header length (including options) in bytes.
+func RawHeaderLen(b []byte) int { return int(b[12]>>4) * 4 }
+
+// RawPayload returns the payload of a marshaled segment (aliases b).
+func RawPayload(b []byte) []byte { return b[RawHeaderLen(b):] }
+
+// RawSegLen returns the sequence space the marshaled segment occupies.
+func RawSegLen(b []byte) int {
+	n := len(b) - RawHeaderLen(b)
+	f := RawFlags(b)
+	if f.Has(FlagSYN) {
+		n++
+	}
+	if f.Has(FlagFIN) {
+		n++
+	}
+	return n
+}
+
+func patchU16(b []byte, off int, v uint16) {
+	old := getU16(b[off:])
+	if old == v {
+		return
+	}
+	putU16(b[off:], v)
+	putU16(b[16:], checksum.Update(RawChecksum(b), old, v))
+}
+
+func patchU32(b []byte, off int, v uint32) {
+	old := getU32(b[off:])
+	if old == v {
+		return
+	}
+	putU32(b[off:], v)
+	putU16(b[16:], checksum.UpdateUint32(RawChecksum(b), old, v))
+}
+
+// SetRawSeq patches the sequence number, updating the checksum
+// incrementally. The primary bridge uses it to subtract the sequence-number
+// offset Delta-seq from segments produced by its own TCP layer.
+func SetRawSeq(b []byte, v Seq) { patchU32(b, 4, uint32(v)) }
+
+// SetRawAck patches the acknowledgment number incrementally.
+func SetRawAck(b []byte, v Seq) { patchU32(b, 8, uint32(v)) }
+
+// SetRawWindow patches the advertised window incrementally.
+func SetRawWindow(b []byte, v uint16) { patchU16(b, 14, v) }
+
+// SetRawDstPort patches the destination port incrementally.
+func SetRawDstPort(b []byte, v uint16) { patchU16(b, 2, v) }
+
+// SetRawSrcPort patches the source port incrementally.
+func SetRawSrcPort(b []byte, v uint16) { patchU16(b, 0, v) }
+
+// patchBytes overwrites b[off:off+len(newBytes)] and adjusts the checksum
+// incrementally, handling arbitrary (odd) alignment by updating whole
+// aligned 16-bit words.
+func patchBytes(b []byte, off int, newBytes []byte) {
+	start := off &^ 1
+	end := (off + len(newBytes) + 1) &^ 1
+	if end > len(b) {
+		end = len(b)
+	}
+	old := append([]byte(nil), b[start:end]...)
+	copy(b[off:], newBytes)
+	putU16(b[16:], checksum.UpdateBytes(RawChecksum(b), old, b[start:end]))
+}
+
+// ClampRawMSS reduces the value of the MSS option in a marshaled SYN
+// segment by reduce (to no less than 64 bytes), updating the checksum
+// incrementally. The secondary bridge applies it to snooped SYNs so the
+// segments its TCP layer later emits leave room for the 8-byte
+// original-destination option the diversion adds — otherwise diverted
+// full-MSS segments would exceed the link MTU. It reports whether an MSS
+// option was found.
+func ClampRawMSS(b []byte, reduce uint16) bool {
+	hdrLen := RawHeaderLen(b)
+	opts := b[HeaderLen:hdrLen]
+	i := 0
+	for i < len(opts) {
+		switch opts[i] {
+		case OptEnd:
+			return false
+		case OptNOP:
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return false
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return false
+			}
+			if opts[i] == OptMSS && l == 4 {
+				off := HeaderLen + i + 2
+				old := getU16(b[off:])
+				v := old - reduce
+				if old < reduce+64 {
+					v = 64
+				}
+				if v != old {
+					patchBytes(b, off, []byte{byte(v >> 8), byte(v)})
+				}
+				return true
+			}
+			i += l
+		}
+	}
+	return false
+}
+
+// PatchPseudoAddr adjusts the checksum of a marshaled segment for a change
+// of an address in the IPv4 pseudo-header (the address itself lives in the
+// IP header, not in the segment). The secondary bridge uses this when it
+// rewrites the destination address of incoming and outgoing datagrams.
+func PatchPseudoAddr(b []byte, oldAddr, newAddr ipv4.Addr) {
+	putU16(b[16:], checksum.UpdateUint32(RawChecksum(b), uint32(oldAddr), uint32(newAddr)))
+}
+
+// InsertOrigDstOption returns a copy of the marshaled segment with an
+// original-destination option appended to the header, patching the data
+// offset, and updating the checksum incrementally for the inserted bytes
+// and the changed offset word. The secondary bridge applies this to every
+// segment it diverts to the primary so the primary bridge can recover the
+// client address (paper section 3.1).
+func InsertOrigDstOption(b []byte, orig ipv4.Addr) ([]byte, error) {
+	const optLen = 8 // kind, len, addr(4), plus 2 NOP pad
+	hdrLen := RawHeaderLen(b)
+	if hdrLen-HeaderLen+optLen > MaxOptionLen {
+		return nil, ErrBadOption
+	}
+	out := make([]byte, len(b)+optLen)
+	copy(out, b[:hdrLen])
+	// Option: NOP NOP kind len addr — keep 4-byte alignment with leading pads.
+	opt := out[hdrLen : hdrLen+optLen]
+	opt[0] = OptNOP
+	opt[1] = OptNOP
+	opt[2] = OptOrigDst
+	opt[3] = 6
+	ipv4.PutAddr(opt[4:8], orig)
+	copy(out[hdrLen+optLen:], b[hdrLen:])
+
+	sum := RawChecksum(out)
+	// Data offset grows by optLen/4 words; patch the offset/flags word.
+	oldOffWord := getU16(out[12:])
+	out[12] = byte((hdrLen+optLen)/4) << 4
+	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
+	// The inserted option bytes join the checksummed data at an even offset.
+	sum = checksum.UpdateBytes(sum, nil, opt)
+	// The pseudo-header TCP-length field grows by optLen.
+	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
+	putU16(out[16:], sum)
+	return out, nil
+}
+
+// StripOrigDstOption returns a copy of the marshaled segment with the
+// original-destination option (and its alignment pads) removed, restoring
+// the header the secondary's TCP layer produced. It reports the option
+// value. The second return is false when no option is present.
+func StripOrigDstOption(b []byte) ([]byte, ipv4.Addr, bool) {
+	hdrLen := RawHeaderLen(b)
+	opts := b[HeaderLen:hdrLen]
+	// Find the NOP NOP kind len addr block written by InsertOrigDstOption.
+	i := 0
+	start, end := -1, -1
+	var addr ipv4.Addr
+	for i < len(opts) {
+		switch opts[i] {
+		case OptEnd:
+			i = len(opts)
+		case OptNOP:
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return b, 0, false
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return b, 0, false
+			}
+			if opts[i] == OptOrigDst && l == 6 {
+				addr = ipv4.GetAddr(opts[i+2 : i+6])
+				start, end = i, i+l
+				// Include the two alignment NOPs preceding the option.
+				for start > 0 && opts[start-1] == OptNOP && end-start < 8 {
+					start--
+				}
+			}
+			i += l
+		}
+	}
+	if start < 0 {
+		return b, 0, false
+	}
+	removed := end - start
+	absStart := HeaderLen + start
+	absEnd := HeaderLen + end
+	out := make([]byte, len(b)-removed)
+	copy(out, b[:absStart])
+	copy(out[absStart:], b[absEnd:])
+
+	sum := RawChecksum(out)
+	oldOffWord := getU16(b[12:])
+	out[12] = byte((hdrLen-removed)/4) << 4
+	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
+	sum = checksum.UpdateBytes(sum, b[absStart:absEnd], nil)
+	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
+	putU16(out[16:], sum)
+	return out, addr, true
+}

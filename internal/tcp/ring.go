@@ -1,0 +1,67 @@
+package tcp
+
+// ring is a fixed-capacity byte ring buffer. The send buffer keeps
+// unacknowledged and unsent bytes (consumed as acknowledgments arrive); the
+// receive buffer keeps in-order bytes awaiting the application.
+type ring struct {
+	buf   []byte
+	start int
+	size  int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]byte, capacity)} }
+
+// Len returns the number of buffered bytes.
+func (r *ring) Len() int { return r.size }
+
+// Free returns the remaining capacity.
+func (r *ring) Free() int { return len(r.buf) - r.size }
+
+// Cap returns the total capacity.
+func (r *ring) Cap() int { return len(r.buf) }
+
+// Write appends up to len(p) bytes, returning how many were accepted.
+func (r *ring) Write(p []byte) int {
+	n := min(len(p), r.Free())
+	end := (r.start + r.size) % len(r.buf)
+	first := copy(r.buf[end:], p[:n])
+	if first < n {
+		copy(r.buf, p[first:n])
+	}
+	r.size += n
+	return n
+}
+
+// Peek copies up to len(p) bytes starting at logical offset off without
+// consuming them, returning the number copied.
+func (r *ring) Peek(off int, p []byte) int {
+	if off >= r.size {
+		return 0
+	}
+	n := min(len(p), r.size-off)
+	pos := (r.start + off) % len(r.buf)
+	first := copy(p[:n], r.buf[pos:])
+	if first < n {
+		copy(p[first:n], r.buf)
+	}
+	return n
+}
+
+// Consume discards n bytes from the front. n must not exceed Len.
+func (r *ring) Consume(n int) {
+	if n > r.size {
+		n = r.size
+	}
+	r.start = (r.start + n) % len(r.buf)
+	r.size -= n
+	if r.size == 0 {
+		r.start = 0
+	}
+}
+
+// Read copies and consumes up to len(p) bytes.
+func (r *ring) Read(p []byte) int {
+	n := r.Peek(0, p)
+	r.Consume(n)
+	return n
+}

@@ -1,0 +1,104 @@
+package tcp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRingBasicOps(t *testing.T) {
+	r := newRing(8)
+	if r.Cap() != 8 || r.Len() != 0 || r.Free() != 8 {
+		t.Fatalf("fresh ring: cap=%d len=%d free=%d", r.Cap(), r.Len(), r.Free())
+	}
+	if n := r.Write([]byte("abcde")); n != 5 {
+		t.Fatalf("Write = %d, want 5", n)
+	}
+	if n := r.Write([]byte("fghij")); n != 3 {
+		t.Fatalf("overflow Write = %d, want 3 (capacity)", n)
+	}
+	got := make([]byte, 4)
+	if n := r.Read(got); n != 4 || string(got) != "abcd" {
+		t.Fatalf("Read = %d %q", n, got[:n])
+	}
+	// Wraparound write.
+	if n := r.Write([]byte("wxyz")); n != 4 {
+		t.Fatalf("wrap Write = %d, want 4", n)
+	}
+	rest := make([]byte, 16)
+	n := r.Read(rest)
+	if string(rest[:n]) != "efghwxyz" {
+		t.Fatalf("drained %q, want efghwxyz", rest[:n])
+	}
+}
+
+func TestRingPeekDoesNotConsume(t *testing.T) {
+	r := newRing(16)
+	r.Write([]byte("hello world"))
+	p := make([]byte, 5)
+	if n := r.Peek(6, p); n != 5 || string(p) != "world" {
+		t.Fatalf("Peek(6) = %d %q", n, p[:n])
+	}
+	if r.Len() != 11 {
+		t.Errorf("Peek consumed data: len=%d", r.Len())
+	}
+	if n := r.Peek(11, p); n != 0 {
+		t.Errorf("Peek past end = %d, want 0", n)
+	}
+	r.Consume(6)
+	if n := r.Peek(0, p); n != 5 || string(p) != "world" {
+		t.Fatalf("after Consume, Peek(0) = %q", p[:n])
+	}
+}
+
+// TestRingAgainstReference drives random operations against a simple slice
+// model.
+func TestRingAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := newRing(64)
+	var ref []byte
+	for i := range 5000 {
+		switch rng.Intn(3) {
+		case 0: // write
+			p := make([]byte, rng.Intn(40))
+			rng.Read(p)
+			n := r.Write(p)
+			wantN := min(len(p), 64-len(ref))
+			if n != wantN {
+				t.Fatalf("op %d: Write accepted %d, want %d", i, n, wantN)
+			}
+			ref = append(ref, p[:n]...)
+		case 1: // read
+			p := make([]byte, rng.Intn(40))
+			n := r.Read(p)
+			wantN := min(len(p), len(ref))
+			if n != wantN || !bytes.Equal(p[:n], ref[:wantN]) {
+				t.Fatalf("op %d: Read got %q want %q", i, p[:n], ref[:wantN])
+			}
+			ref = ref[wantN:]
+		case 2: // peek at random offset
+			if len(ref) == 0 {
+				continue
+			}
+			off := rng.Intn(len(ref))
+			p := make([]byte, rng.Intn(20)+1)
+			n := r.Peek(off, p)
+			wantN := min(len(p), len(ref)-off)
+			if n != wantN || !bytes.Equal(p[:n], ref[off:off+wantN]) {
+				t.Fatalf("op %d: Peek(%d) got %q want %q", i, off, p[:n], ref[off:off+wantN])
+			}
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", i, r.Len(), len(ref))
+		}
+	}
+}
+
+func TestRingConsumeClamps(t *testing.T) {
+	r := newRing(8)
+	r.Write([]byte("ab"))
+	r.Consume(100) // must not panic or corrupt
+	if r.Len() != 0 || r.Free() != 8 {
+		t.Errorf("after over-consume: len=%d free=%d", r.Len(), r.Free())
+	}
+}

@@ -1,0 +1,61 @@
+package tcp
+
+import "time"
+
+// rttEstimator implements the Jacobson/Karels smoothed RTT estimate and the
+// retransmission timeout derived from it (RFC 6298 constants).
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	rto    time.Duration
+	seeded bool
+
+	minRTO time.Duration
+	maxRTO time.Duration
+}
+
+func newRTTEstimator(initial, minRTO, maxRTO time.Duration) *rttEstimator {
+	return &rttEstimator{rto: initial, minRTO: minRTO, maxRTO: maxRTO}
+}
+
+// sample folds a new round-trip measurement into the estimate.
+func (r *rttEstimator) sample(m time.Duration) {
+	if m <= 0 {
+		m = time.Microsecond
+	}
+	if !r.seeded {
+		r.srtt = m
+		r.rttvar = m / 2
+		r.seeded = true
+	} else {
+		d := r.srtt - m
+		if d < 0 {
+			d = -d
+		}
+		r.rttvar = (3*r.rttvar + d) / 4
+		r.srtt = (7*r.srtt + m) / 8
+	}
+	r.rto = r.srtt + max(4*r.rttvar, time.Millisecond)
+	r.clamp()
+}
+
+// backoff doubles the RTO after a retransmission timeout (Karn).
+func (r *rttEstimator) backoff() {
+	r.rto *= 2
+	r.clamp()
+}
+
+func (r *rttEstimator) clamp() {
+	if r.rto < r.minRTO {
+		r.rto = r.minRTO
+	}
+	if r.rto > r.maxRTO {
+		r.rto = r.maxRTO
+	}
+}
+
+// RTO returns the current retransmission timeout.
+func (r *rttEstimator) RTO() time.Duration { return r.rto }
+
+// SRTT returns the smoothed round-trip estimate (zero before any sample).
+func (r *rttEstimator) SRTT() time.Duration { return r.srtt }

@@ -1,0 +1,60 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTFirstSampleSeedsEstimate(t *testing.T) {
+	r := newRTTEstimator(time.Second, 200*time.Millisecond, time.Minute)
+	if r.RTO() != time.Second {
+		t.Errorf("initial RTO = %v", r.RTO())
+	}
+	r.sample(100 * time.Millisecond)
+	if r.SRTT() != 100*time.Millisecond {
+		t.Errorf("SRTT = %v, want the first sample", r.SRTT())
+	}
+	// RTO = srtt + 4*rttvar = 100 + 200 = 300ms.
+	if r.RTO() != 300*time.Millisecond {
+		t.Errorf("RTO = %v, want 300ms", r.RTO())
+	}
+}
+
+func TestRTTSmoothingConverges(t *testing.T) {
+	r := newRTTEstimator(time.Second, time.Millisecond, time.Minute)
+	for range 100 {
+		r.sample(50 * time.Millisecond)
+	}
+	if d := r.SRTT() - 50*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("SRTT = %v, want ~50ms", r.SRTT())
+	}
+	if r.RTO() > 100*time.Millisecond {
+		t.Errorf("RTO = %v, want tight around a steady RTT", r.RTO())
+	}
+}
+
+func TestRTTBackoffDoublesAndClamps(t *testing.T) {
+	r := newRTTEstimator(time.Second, 200*time.Millisecond, 8*time.Second)
+	for range 10 {
+		r.backoff()
+	}
+	if r.RTO() != 8*time.Second {
+		t.Errorf("RTO = %v, want clamped at max", r.RTO())
+	}
+}
+
+func TestRTTMinClamp(t *testing.T) {
+	r := newRTTEstimator(time.Second, 200*time.Millisecond, time.Minute)
+	r.sample(time.Microsecond)
+	if r.RTO() != 200*time.Millisecond {
+		t.Errorf("RTO = %v, want min clamp 200ms", r.RTO())
+	}
+}
+
+func TestRTTNonPositiveSample(t *testing.T) {
+	r := newRTTEstimator(time.Second, time.Millisecond, time.Minute)
+	r.sample(0) // must not panic or produce zero estimates
+	if r.SRTT() <= 0 {
+		t.Errorf("SRTT = %v after zero sample", r.SRTT())
+	}
+}

@@ -1,0 +1,47 @@
+package tcp
+
+// Seq is a TCP sequence number. All comparisons are modular (RFC 793
+// section 3.3): a sequence number is "less than" another when the signed
+// 32-bit difference is negative, which makes the arithmetic correct across
+// the 2^32 wraparound.
+type Seq uint32
+
+// Less reports s < t in modular arithmetic.
+func (s Seq) Less(t Seq) bool { return int32(s-t) < 0 }
+
+// Leq reports s <= t in modular arithmetic.
+func (s Seq) Leq(t Seq) bool { return int32(s-t) <= 0 }
+
+// Greater reports s > t in modular arithmetic.
+func (s Seq) Greater(t Seq) bool { return int32(s-t) > 0 }
+
+// Geq reports s >= t in modular arithmetic.
+func (s Seq) Geq(t Seq) bool { return int32(s-t) >= 0 }
+
+// Add advances the sequence number by n bytes.
+func (s Seq) Add(n int) Seq { return s + Seq(int32(n)) }
+
+// Diff returns the signed distance s - t.
+func (s Seq) Diff(t Seq) int { return int(int32(s - t)) }
+
+// InWindow reports whether s lies in [start, start+size).
+func (s Seq) InWindow(start Seq, size int) bool {
+	return start.Leq(s) && s.Less(start.Add(size))
+}
+
+// MaxSeq returns the larger of two sequence numbers in modular order.
+func MaxSeq(a, b Seq) Seq {
+	if a.Geq(b) {
+		return a
+	}
+	return b
+}
+
+// MinSeq returns the smaller of two sequence numbers in modular order. The
+// primary bridge uses it to forward min(ackP, ackS) to the client.
+func MinSeq(a, b Seq) Seq {
+	if a.Leq(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqComparisonsNearWraparound(t *testing.T) {
+	const top = ^Seq(0) // 2^32 - 1
+	tests := []struct {
+		a, b Seq
+		less bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{top, 0, true},            // wraparound: 2^32-1 < 0
+		{top - 100, top, true},    //
+		{0, top, false},           //
+		{2_000_000_000, 1, false}, // within half the space
+	}
+	for _, tc := range tests {
+		if got := tc.a.Less(tc.b); got != tc.less {
+			t.Errorf("%d.Less(%d) = %v, want %v", tc.a, tc.b, got, tc.less)
+		}
+	}
+}
+
+func TestSeqAddDiffInverse(t *testing.T) {
+	f := func(s uint32, n int16) bool {
+		a := Seq(s)
+		b := a.Add(int(n))
+		return b.Diff(a) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqOrderingTrichotomy(t *testing.T) {
+	f := func(x, y uint32) bool {
+		a, b := Seq(x), Seq(y)
+		if a == b {
+			return a.Leq(b) && a.Geq(b) && !a.Less(b) && !a.Greater(b)
+		}
+		// Exactly one of Less/Greater (except at the ambiguous antipode).
+		if a.Diff(b) == -2147483648 {
+			return true
+		}
+		return a.Less(b) != a.Greater(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	start := Seq(4294967000) // near wraparound
+	if !start.InWindow(start, 10) {
+		t.Error("start not in its own window")
+	}
+	if !start.Add(500).InWindow(start, 1000) {
+		t.Error("wrapped sequence not in window")
+	}
+	if start.Add(1000).InWindow(start, 1000) {
+		t.Error("window end should be exclusive")
+	}
+	if start.InWindow(start, 0) {
+		t.Error("empty window contains nothing")
+	}
+}
+
+func TestMinMaxSeq(t *testing.T) {
+	a, b := Seq(^uint32(0)-5), Seq(3) // b is "after" a across the wrap
+	if MinSeq(a, b) != a || MaxSeq(a, b) != b {
+		t.Errorf("Min/Max across wraparound wrong: min=%d max=%d", MinSeq(a, b), MaxSeq(a, b))
+	}
+	if MinSeq(b, a) != a || MaxSeq(b, a) != b {
+		t.Error("Min/Max not symmetric")
+	}
+}

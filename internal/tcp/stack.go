@@ -1,0 +1,376 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793 section 3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota + 1
+	StateListen
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = map[State]string{
+	StateClosed:      "CLOSED",
+	StateListen:      "LISTEN",
+	StateSynSent:     "SYN-SENT",
+	StateSynReceived: "SYN-RECEIVED",
+	StateEstablished: "ESTABLISHED",
+	StateFinWait1:    "FIN-WAIT-1",
+	StateFinWait2:    "FIN-WAIT-2",
+	StateCloseWait:   "CLOSE-WAIT",
+	StateClosing:     "CLOSING",
+	StateLastAck:     "LAST-ACK",
+	StateTimeWait:    "TIME-WAIT",
+}
+
+// String returns the RFC 793 state name.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Errors surfaced through the socket API.
+var (
+	ErrConnReset      = errors.New("tcp: connection reset by peer")
+	ErrConnRefused    = errors.New("tcp: connection refused")
+	ErrTimeout        = errors.New("tcp: retransmission limit exceeded")
+	ErrClosed         = errors.New("tcp: connection closed")
+	ErrPortInUse      = errors.New("tcp: port already in use")
+	ErrAborted        = errors.New("tcp: connection aborted")
+	ErrNoRoute        = errors.New("tcp: no local address")
+	ErrBufferTooSmall = errors.New("tcp: window too small for MSS")
+)
+
+// Config tunes a Stack. The zero value selects defaults matching the
+// paper's testbed era: 1460-byte MSS, 64 KB buffers, 200 ms delayed-ack
+// timer, Reno congestion control.
+type Config struct {
+	MSS               int           // default 1460
+	SendBufSize       int           // default 65535 (the paper's 64 KB send buffer)
+	RecvBufSize       int           // default 65535
+	DelayedAckTimeout time.Duration // default 200 ms (BSD heritage)
+	AckEveryN         int           // ack every Nth full segment; default 2
+	InitialRTO        time.Duration // default 1 s
+	MinRTO            time.Duration // default 200 ms
+	MaxRTO            time.Duration // default 60 s
+	MaxRetries        int           // default 12 retransmissions before abort
+	TimeWaitDuration  time.Duration // default 60 s (2 MSL compressed)
+	DisableNagle      bool
+	DisableCongestion bool // fixed cwnd = send buffer (for controlled experiments)
+	InitialCwndSegs   int  // default 2 segments
+	// ISS generates initial sequence numbers; default draws from the
+	// scheduler RNG. The primary and secondary draw different values, which
+	// is precisely what the bridge's Delta-seq machinery compensates for.
+	ISS func(rng *rand.Rand) Seq
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.SendBufSize == 0 {
+		c.SendBufSize = 65535
+	}
+	if c.RecvBufSize == 0 {
+		c.RecvBufSize = 65535
+	}
+	if c.DelayedAckTimeout == 0 {
+		c.DelayedAckTimeout = 200 * time.Millisecond
+	}
+	if c.AckEveryN == 0 {
+		c.AckEveryN = 2
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = time.Second
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 12
+	}
+	if c.TimeWaitDuration == 0 {
+		c.TimeWaitDuration = 60 * time.Second
+	}
+	if c.InitialCwndSegs == 0 {
+		c.InitialCwndSegs = 2
+	}
+	if c.ISS == nil {
+		c.ISS = func(rng *rand.Rand) Seq { return Seq(rng.Uint32()) }
+	}
+	return c
+}
+
+// Output transmits a marshaled TCP segment toward dst. The netstack
+// installs this; on the replicated servers the bridge interposes here.
+type Output func(src, dst ipv4.Addr, segment []byte) error
+
+// Tuple identifies a connection by its four-tuple.
+type Tuple struct {
+	LocalAddr  ipv4.Addr
+	LocalPort  uint16
+	RemoteAddr ipv4.Addr
+	RemotePort uint16
+}
+
+// String renders the tuple as "l:lp -> r:rp".
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", t.LocalAddr, t.LocalPort, t.RemoteAddr, t.RemotePort)
+}
+
+// Stack is one host's TCP layer. It is event-driven: all methods must be
+// called from the simulation loop.
+type Stack struct {
+	sched  *sim.Scheduler
+	cfg    Config
+	output Output
+	rng    *rand.Rand
+
+	// localAddr resolves the local address to use toward a destination;
+	// provided by the netstack (consults the routing table).
+	localAddr func(dst ipv4.Addr) (ipv4.Addr, bool)
+
+	listeners map[uint16]*Listener
+	conns     map[Tuple]*Conn
+	nextPort  uint16
+
+	stats Stats
+}
+
+// Stats aggregates stack-wide counters.
+type Stats struct {
+	SegmentsIn      int64
+	SegmentsOut     int64
+	BadChecksums    int64
+	RSTsSent        int64
+	Retransmissions int64
+	DupAcksIn       int64
+	FastRetransmits int64
+}
+
+// NewStack creates a TCP layer.
+func NewStack(sched *sim.Scheduler, cfg Config, output Output,
+	localAddr func(dst ipv4.Addr) (ipv4.Addr, bool)) *Stack {
+	return &Stack{
+		sched:     sched,
+		cfg:       cfg.withDefaults(),
+		output:    output,
+		rng:       sched.Rand(),
+		localAddr: localAddr,
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[Tuple]*Conn),
+		nextPort:  49152,
+	}
+}
+
+// Config returns the stack configuration (after defaulting).
+func (s *Stack) Config() Config { return s.cfg }
+
+// Stats returns a copy of the stack counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// SetOutput replaces the transmit function (used when installing a bridge
+// after stack construction).
+func (s *Stack) SetOutput(o Output) { s.output = o }
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	stack    *Stack
+	port     uint16
+	onAccept func(*Conn)
+	closed   bool
+}
+
+// Listen starts accepting connections on port. The accept callback is
+// invoked when a connection reaches ESTABLISHED.
+func (s *Stack) Listen(port uint16, onAccept func(*Conn)) (*Listener, error) {
+	if _, ok := s.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	l := &Listener{stack: s, port: port, onAccept: onAccept}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Close stops accepting new connections. Established connections survive.
+func (l *Listener) Close() {
+	if !l.closed {
+		l.closed = true
+		delete(l.stack.listeners, l.port)
+	}
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Dial opens a connection to raddr:rport. The connection is returned
+// immediately in SYN-SENT; OnEstablished / OnClose callbacks report the
+// outcome.
+func (s *Stack) Dial(raddr ipv4.Addr, rport uint16) (*Conn, error) {
+	laddr, ok := s.localAddr(raddr)
+	if !ok {
+		return nil, fmt.Errorf("%w: dial %s", ErrNoRoute, raddr)
+	}
+	var t Tuple
+	for range 65536 {
+		t = Tuple{LocalAddr: laddr, LocalPort: s.allocPort(), RemoteAddr: raddr, RemotePort: rport}
+		if _, exists := s.conns[t]; !exists {
+			break
+		}
+	}
+	c := s.newConn(t)
+	c.state = StateSynSent
+	s.conns[t] = c
+	c.sendSYN(false)
+	return c, nil
+}
+
+// DialFrom opens a connection with an explicit local port (used by
+// applications like FTP that must originate from a well-known port).
+func (s *Stack) DialFrom(lport uint16, raddr ipv4.Addr, rport uint16) (*Conn, error) {
+	laddr, ok := s.localAddr(raddr)
+	if !ok {
+		return nil, fmt.Errorf("%w: dial %s", ErrNoRoute, raddr)
+	}
+	t := Tuple{LocalAddr: laddr, LocalPort: lport, RemoteAddr: raddr, RemotePort: rport}
+	if _, exists := s.conns[t]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrPortInUse, t)
+	}
+	c := s.newConn(t)
+	c.state = StateSynSent
+	s.conns[t] = c
+	c.sendSYN(false)
+	return c, nil
+}
+
+func (s *Stack) allocPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	if s.nextPort < 49152 {
+		s.nextPort = 49152
+	}
+	return p
+}
+
+// Conns returns the current connections (copy).
+func (s *Stack) Conns() []*Conn {
+	out := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Lookup finds the connection for a tuple.
+func (s *Stack) Lookup(t Tuple) (*Conn, bool) {
+	c, ok := s.conns[t]
+	return c, ok
+}
+
+// Rebind re-keys a connection to a new local address. The secondary bridge
+// calls this during IP takeover, when the connections the secondary's TCP
+// layer established under its own address must continue under the failed
+// primary's address (paper section 5, step 5).
+func (s *Stack) Rebind(t Tuple, newLocal ipv4.Addr) error {
+	c, ok := s.conns[t]
+	if !ok {
+		return fmt.Errorf("tcp: rebind: no connection %s", t)
+	}
+	nt := t
+	nt.LocalAddr = newLocal
+	if _, exists := s.conns[nt]; exists {
+		return fmt.Errorf("%w: rebind target %s", ErrPortInUse, nt)
+	}
+	delete(s.conns, t)
+	c.tuple = nt
+	s.conns[nt] = c
+	return nil
+}
+
+// Input delivers a marshaled segment that IP (or the bridge) addressed to
+// this stack. src and dst are the datagram addresses used for checksum
+// verification and demultiplexing.
+func (s *Stack) Input(src, dst ipv4.Addr, b []byte) {
+	s.stats.SegmentsIn++
+	seg, err := Unmarshal(src, dst, b, true)
+	if err != nil {
+		s.stats.BadChecksums++
+		return
+	}
+	t := Tuple{LocalAddr: dst, LocalPort: seg.DstPort, RemoteAddr: src, RemotePort: seg.SrcPort}
+	if c, ok := s.conns[t]; ok {
+		c.input(seg)
+		return
+	}
+	if l, ok := s.listeners[seg.DstPort]; ok && !l.closed && seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		s.accept(l, t, seg)
+		return
+	}
+	// No matching endpoint: RST unless the arriving segment is itself a RST.
+	if !seg.Flags.Has(FlagRST) {
+		s.sendRST(t, seg)
+	}
+}
+
+func (s *Stack) accept(l *Listener, t Tuple, syn *Segment) {
+	c := s.newConn(t)
+	c.state = StateSynReceived
+	c.listener = l
+	s.conns[t] = c
+	c.irs = syn.Seq
+	c.rcvNxt = syn.Seq.Add(1)
+	c.setSndWnd(int(syn.Window))
+	if mss, ok := syn.MSS(); ok {
+		c.mss = min(c.mss, int(mss))
+	}
+	c.sendSYN(true)
+}
+
+// sendRST answers an unmatched segment per RFC 793.
+func (s *Stack) sendRST(t Tuple, seg *Segment) {
+	s.stats.RSTsSent++
+	rst := &Segment{
+		SrcPort: t.LocalPort,
+		DstPort: t.RemotePort,
+		Flags:   FlagRST,
+	}
+	if seg.Flags.Has(FlagACK) {
+		rst.Seq = seg.Ack
+	} else {
+		rst.Flags |= FlagACK
+		rst.Ack = seg.Seq.Add(seg.Len())
+	}
+	b := Marshal(t.LocalAddr, t.RemoteAddr, rst)
+	s.stats.SegmentsOut++
+	_ = s.output(t.LocalAddr, t.RemoteAddr, b)
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	if cur, ok := s.conns[c.tuple]; ok && cur == c {
+		delete(s.conns, c.tuple)
+	}
+}

@@ -1,0 +1,259 @@
+// Package tcp is a user-space implementation of the Transmission Control
+// Protocol (RFC 793) for the simulated network: segment wire format with
+// options, checksums over the IPv4 pseudo-header, the full connection state
+// machine, sliding-window flow control, RTT estimation with exponential
+// retransmission backoff, Reno-style congestion control, delayed
+// acknowledgments, and half-close semantics.
+//
+// The package also exposes the raw-segment accessors the failover bridges
+// need: reading and patching header fields of marshaled segments in place
+// with incremental checksum updates (paper section 3.1), and inserting or
+// removing the "original destination" header option the secondary bridge
+// uses to divert its output to the primary.
+package tcp
+
+import (
+	"errors"
+
+	"tcpfailover/internal/checksum"
+	"tcpfailover/internal/ipv4"
+)
+
+// Flags is the TCP control-flag set.
+type Flags uint8
+
+// Flag values.
+const (
+	FlagFIN Flags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all flags in f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// String renders the flags tcpdump-style.
+func (f Flags) String() string {
+	s := ""
+	for _, fl := range []struct {
+		f Flags
+		c string
+	}{{FlagSYN, "S"}, {FlagFIN, "F"}, {FlagRST, "R"}, {FlagPSH, "P"}, {FlagACK, "."}, {FlagURG, "U"}} {
+		if f.Has(fl.f) {
+			s += fl.c
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Option kinds.
+const (
+	OptEnd     = 0
+	OptNOP     = 1
+	OptMSS     = 2
+	OptOrigDst = 253 // RFC 3692 experimental kind, carries the paper's "original destination address" option
+)
+
+// Option is a TCP header option.
+type Option struct {
+	Kind byte
+	Data []byte
+}
+
+// HeaderLen is the length of the option-less TCP header.
+const HeaderLen = 20
+
+// MaxOptionLen bounds the options area (data offset is 4 bits of words).
+const MaxOptionLen = 40
+
+// Segment is a parsed TCP segment.
+type Segment struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     Seq
+	Ack     Seq
+	Flags   Flags
+	Window  uint16
+	Urgent  uint16
+	Options []Option
+	Payload []byte
+}
+
+// Len returns the amount of sequence space the segment occupies: payload
+// bytes plus one for SYN and one for FIN.
+func (s *Segment) Len() int {
+	n := len(s.Payload)
+	if s.Flags.Has(FlagSYN) {
+		n++
+	}
+	if s.Flags.Has(FlagFIN) {
+		n++
+	}
+	return n
+}
+
+// MSS returns the value of the maximum-segment-size option, if present.
+func (s *Segment) MSS() (uint16, bool) {
+	for _, o := range s.Options {
+		if o.Kind == OptMSS && len(o.Data) == 2 {
+			return uint16(o.Data[0])<<8 | uint16(o.Data[1]), true
+		}
+	}
+	return 0, false
+}
+
+// OrigDst returns the original-destination option value, if present.
+func (s *Segment) OrigDst() (ipv4.Addr, bool) {
+	for _, o := range s.Options {
+		if o.Kind == OptOrigDst && len(o.Data) == 4 {
+			return ipv4.GetAddr(o.Data), true
+		}
+	}
+	return 0, false
+}
+
+// MSSOption builds a maximum-segment-size option.
+func MSSOption(mss uint16) Option {
+	return Option{Kind: OptMSS, Data: []byte{byte(mss >> 8), byte(mss)}}
+}
+
+// OrigDstOption builds an original-destination option.
+func OrigDstOption(a ipv4.Addr) Option {
+	d := make([]byte, 4)
+	ipv4.PutAddr(d, a)
+	return Option{Kind: OptOrigDst, Data: d}
+}
+
+// Errors returned by Unmarshal and the raw accessors.
+var (
+	ErrTruncated   = errors.New("tcp: truncated segment")
+	ErrBadOffset   = errors.New("tcp: bad data offset")
+	ErrBadChecksum = errors.New("tcp: bad checksum")
+	ErrBadOption   = errors.New("tcp: malformed option")
+)
+
+func optionsWireLen(opts []Option) int {
+	n := 0
+	for _, o := range opts {
+		if o.Kind == OptEnd || o.Kind == OptNOP {
+			n++
+		} else {
+			n += 2 + len(o.Data)
+		}
+	}
+	return (n + 3) &^ 3 // pad to 32-bit boundary
+}
+
+// Marshal renders the segment in wire format with the checksum computed
+// over the pseudo-header for src/dst.
+func Marshal(src, dst ipv4.Addr, s *Segment) []byte {
+	optLen := optionsWireLen(s.Options)
+	hdrLen := HeaderLen + optLen
+	b := make([]byte, hdrLen+len(s.Payload))
+	putU16(b[0:], s.SrcPort)
+	putU16(b[2:], s.DstPort)
+	putU32(b[4:], uint32(s.Seq))
+	putU32(b[8:], uint32(s.Ack))
+	b[12] = byte(hdrLen/4) << 4
+	b[13] = byte(s.Flags)
+	putU16(b[14:], s.Window)
+	putU16(b[18:], s.Urgent)
+	off := HeaderLen
+	for _, o := range s.Options {
+		if o.Kind == OptEnd || o.Kind == OptNOP {
+			b[off] = o.Kind
+			off++
+			continue
+		}
+		b[off] = o.Kind
+		b[off+1] = byte(2 + len(o.Data))
+		copy(b[off+2:], o.Data)
+		off += 2 + len(o.Data)
+	}
+	for off < hdrLen {
+		b[off] = OptNOP
+		off++
+	}
+	copy(b[hdrLen:], s.Payload)
+	cs := ComputeChecksum(src, dst, b)
+	putU16(b[16:], cs)
+	return b
+}
+
+// Unmarshal parses a wire-format segment. If verify is true the checksum is
+// validated against the pseudo-header. The returned payload aliases b.
+func Unmarshal(src, dst ipv4.Addr, b []byte, verify bool) (*Segment, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	hdrLen := int(b[12]>>4) * 4
+	if hdrLen < HeaderLen || hdrLen > len(b) {
+		return nil, ErrBadOffset
+	}
+	if verify && ComputeChecksum(src, dst, b) != 0 {
+		return nil, ErrBadChecksum
+	}
+	s := &Segment{
+		SrcPort: getU16(b[0:]),
+		DstPort: getU16(b[2:]),
+		Seq:     Seq(getU32(b[4:])),
+		Ack:     Seq(getU32(b[8:])),
+		Flags:   Flags(b[13]),
+		Window:  getU16(b[14:]),
+		Urgent:  getU16(b[18:]),
+		Payload: b[hdrLen:],
+	}
+	opts := b[HeaderLen:hdrLen]
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case OptEnd:
+			opts = nil
+		case OptNOP:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return nil, ErrBadOption
+			}
+			l := int(opts[1])
+			if l < 2 || l > len(opts) {
+				return nil, ErrBadOption
+			}
+			data := make([]byte, l-2)
+			copy(data, opts[2:l])
+			s.Options = append(s.Options, Option{Kind: kind, Data: data})
+			opts = opts[l:]
+		}
+	}
+	return s, nil
+}
+
+// ComputeChecksum computes the TCP checksum of a marshaled segment over the
+// IPv4 pseudo-header. Computing it over a segment whose checksum field is
+// already filled yields zero for a valid segment.
+func ComputeChecksum(src, dst ipv4.Addr, b []byte) uint16 {
+	var pseudo [12]byte
+	ipv4.PutAddr(pseudo[0:4], src)
+	ipv4.PutAddr(pseudo[4:8], dst)
+	pseudo[9] = ipv4.ProtoTCP
+	putU16(pseudo[10:], uint16(len(b)))
+	return checksum.Sum(pseudo[:], b)
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+func getU16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

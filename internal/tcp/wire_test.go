@@ -1,0 +1,161 @@
+package tcp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tcpfailover/internal/ipv4"
+)
+
+var (
+	srcA = ipv4.MustParseAddr("10.0.2.1")
+	dstA = ipv4.MustParseAddr("10.0.1.1")
+)
+
+func randomSegment(rng *rand.Rand) *Segment {
+	s := &Segment{
+		SrcPort: uint16(rng.Intn(65536)),
+		DstPort: uint16(rng.Intn(65536)),
+		Seq:     Seq(rng.Uint32()),
+		Ack:     Seq(rng.Uint32()),
+		Flags:   Flags(rng.Intn(64)),
+		Window:  uint16(rng.Intn(65536)),
+		Payload: make([]byte, rng.Intn(200)),
+	}
+	rng.Read(s.Payload)
+	if rng.Intn(2) == 0 {
+		s.Options = append(s.Options, MSSOption(uint16(rng.Intn(65536))))
+	}
+	if rng.Intn(3) == 0 {
+		s.Options = append(s.Options, OrigDstOption(ipv4.Addr(rng.Uint32())))
+	}
+	return s
+}
+
+func segmentsEqual(a, b *Segment) bool {
+	if a.SrcPort != b.SrcPort || a.DstPort != b.DstPort || a.Seq != b.Seq ||
+		a.Ack != b.Ack || a.Flags != b.Flags || a.Window != b.Window ||
+		!bytes.Equal(a.Payload, b.Payload) {
+		return false
+	}
+	am, aok := a.MSS()
+	bm, bok := b.MSS()
+	if aok != bok || am != bm {
+		return false
+	}
+	ao, aook := a.OrigDst()
+	bo, book := b.OrigDst()
+	return aook == book && ao == bo
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for range 500 {
+		s := randomSegment(rng)
+		raw := Marshal(srcA, dstA, s)
+		got, err := Unmarshal(srcA, dstA, raw, true)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !segmentsEqual(s, got) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", s, got)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for range 200 {
+		s := randomSegment(rng)
+		raw := Marshal(srcA, dstA, s)
+		// Flip one random bit.
+		i := rng.Intn(len(raw))
+		raw[i] ^= 1 << uint(rng.Intn(8))
+		if _, err := Unmarshal(srcA, dstA, raw, true); err == nil {
+			// A flipped bit in a NOP pad can escape the offset check but
+			// never the checksum.
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestChecksumCoversPseudoHeader(t *testing.T) {
+	s := &Segment{SrcPort: 1, DstPort: 2, Flags: FlagACK}
+	raw := Marshal(srcA, dstA, s)
+	if _, err := Unmarshal(srcA, dstA, raw, true); err != nil {
+		t.Fatalf("valid segment rejected: %v", err)
+	}
+	// The same bytes with a different pseudo-header destination must fail —
+	// this is why the bridges patch the checksum when translating addresses.
+	other := ipv4.MustParseAddr("10.0.1.2")
+	if _, err := Unmarshal(srcA, other, raw, true); err == nil {
+		t.Error("segment accepted under the wrong destination address")
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	if _, err := Unmarshal(srcA, dstA, make([]byte, 10), false); err == nil {
+		t.Error("short segment accepted")
+	}
+	raw := Marshal(srcA, dstA, &Segment{Flags: FlagACK})
+	raw[12] = 3 << 4 // data offset below minimum
+	if _, err := Unmarshal(srcA, dstA, raw, false); err == nil {
+		t.Error("bad data offset accepted")
+	}
+	raw = Marshal(srcA, dstA, &Segment{Flags: FlagACK})
+	raw[12] = 15 << 4 // offset beyond segment
+	if _, err := Unmarshal(srcA, dstA, raw, false); err == nil {
+		t.Error("oversized data offset accepted")
+	}
+}
+
+func TestSegLenCountsSynFin(t *testing.T) {
+	tests := []struct {
+		flags   Flags
+		payload int
+		want    int
+	}{
+		{FlagACK, 0, 0},
+		{FlagSYN, 0, 1},
+		{FlagFIN | FlagACK, 0, 1},
+		{FlagSYN | FlagFIN, 0, 2},
+		{FlagACK | FlagPSH, 7, 7},
+		{FlagFIN | FlagACK, 7, 8},
+	}
+	for _, tc := range tests {
+		s := &Segment{Flags: tc.flags, Payload: make([]byte, tc.payload)}
+		if got := s.Len(); got != tc.want {
+			t.Errorf("Len(%v,%d) = %d, want %d", tc.flags, tc.payload, got, tc.want)
+		}
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "S." {
+		t.Errorf("SYN|ACK = %q", got)
+	}
+	if got := Flags(0).String(); got != "none" {
+		t.Errorf("zero flags = %q", got)
+	}
+}
+
+func TestOptionsSkipUnknown(t *testing.T) {
+	// An unknown option with valid length must be preserved in parsing and
+	// not break MSS extraction after it.
+	s := &Segment{
+		Flags: FlagSYN,
+		Options: []Option{
+			{Kind: 99, Data: []byte{1, 2, 3}},
+			MSSOption(1460),
+		},
+	}
+	raw := Marshal(srcA, dstA, s)
+	got, err := Unmarshal(srcA, dstA, raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mss, ok := got.MSS(); !ok || mss != 1460 {
+		t.Errorf("MSS after unknown option: %d %v", mss, ok)
+	}
+}

@@ -1,0 +1,80 @@
+// Package trace captures annotated packet traces from simulated hosts in a
+// tcpdump-like text format. It is used by the failover-trace tool, by
+// examples that want to show the protocol in action, and for debugging.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// Tracer collects packet events from any number of hosts.
+type Tracer struct {
+	w     io.Writer
+	count int
+}
+
+// New creates a tracer writing to w.
+func New(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Attach installs the tracer on a host's packet tap. dir is "rx" or "tx"
+// from the host's viewpoint.
+func (t *Tracer) Attach(h *netstack.Host) {
+	name := h.Name()
+	sched := h.Scheduler()
+	h.PacketTap = func(dir string, hdr ipv4.Header, payload []byte) {
+		t.count++
+		fmt.Fprintf(t.w, "%12s %-9s %-2s %s\n", fmtTime(sched.Now()), name, dir,
+			Format(hdr, payload))
+	}
+}
+
+// Count returns the number of events traced.
+func (t *Tracer) Count() int { return t.count }
+
+func fmtTime(d time.Duration) string {
+	return fmt.Sprintf("%.6f", d.Seconds())
+}
+
+// Format renders one datagram tcpdump-style.
+func Format(hdr ipv4.Header, payload []byte) string {
+	switch hdr.Protocol {
+	case ipv4.ProtoTCP:
+		if len(payload) < tcp.HeaderLen {
+			return fmt.Sprintf("%s > %s: TCP <truncated>", hdr.Src, hdr.Dst)
+		}
+		flags := tcp.RawFlags(payload)
+		dataLen := len(payload) - tcp.RawHeaderLen(payload)
+		s := fmt.Sprintf("%s.%d > %s.%d: Flags [%s], seq %d",
+			hdr.Src, tcp.RawSrcPort(payload), hdr.Dst, tcp.RawDstPort(payload),
+			flags, uint32(tcp.RawSeq(payload)))
+		if dataLen > 0 {
+			s += fmt.Sprintf(":%d", uint32(tcp.RawSeq(payload))+uint32(dataLen))
+		}
+		if flags.Has(tcp.FlagACK) {
+			s += fmt.Sprintf(", ack %d", uint32(tcp.RawAck(payload)))
+		}
+		s += fmt.Sprintf(", win %d", tcp.RawWindow(payload))
+		if seg, err := tcp.Unmarshal(hdr.Src, hdr.Dst, payload, false); err == nil {
+			if mss, ok := seg.MSS(); ok {
+				s += fmt.Sprintf(", mss %d", mss)
+			}
+			if orig, ok := seg.OrigDst(); ok {
+				s += fmt.Sprintf(", origdst %s", orig)
+			}
+		}
+		if dataLen > 0 {
+			s += fmt.Sprintf(", length %d", dataLen)
+		}
+		return s
+	case ipv4.ProtoHeartbeat:
+		return fmt.Sprintf("%s > %s: heartbeat", hdr.Src, hdr.Dst)
+	default:
+		return fmt.Sprintf("%s > %s: proto %d, length %d", hdr.Src, hdr.Dst, hdr.Protocol, len(payload))
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/tcp"
+)
+
+func TestFormatTCPSegment(t *testing.T) {
+	src := ipv4.MustParseAddr("10.0.2.1")
+	dst := ipv4.MustParseAddr("10.0.1.1")
+	seg := &tcp.Segment{
+		SrcPort: 49152,
+		DstPort: 80,
+		Seq:     1000,
+		Ack:     2000,
+		Flags:   tcp.FlagSYN | tcp.FlagACK,
+		Window:  65535,
+		Options: []tcp.Option{tcp.MSSOption(1460), tcp.OrigDstOption(src)},
+		Payload: []byte("xyz"),
+	}
+	raw := tcp.Marshal(src, dst, seg)
+	got := Format(ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst}, raw)
+
+	for _, want := range []string{
+		"10.0.2.1.49152 > 10.0.1.1.80",
+		"Flags [S.]",
+		"seq 1000:1003",
+		"ack 2000",
+		"win 65535",
+		"mss 1460",
+		"origdst 10.0.2.1",
+		"length 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format output %q missing %q", got, want)
+		}
+	}
+}
+
+func TestFormatHeartbeatAndUnknown(t *testing.T) {
+	src := ipv4.MustParseAddr("10.0.1.1")
+	dst := ipv4.MustParseAddr("10.0.1.2")
+	hb := Format(ipv4.Header{Protocol: ipv4.ProtoHeartbeat, Src: src, Dst: dst}, nil)
+	if !strings.Contains(hb, "heartbeat") {
+		t.Errorf("heartbeat format: %q", hb)
+	}
+	other := Format(ipv4.Header{Protocol: 17, Src: src, Dst: dst}, make([]byte, 8))
+	if !strings.Contains(other, "proto 17") {
+		t.Errorf("unknown proto format: %q", other)
+	}
+	trunc := Format(ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst}, make([]byte, 4))
+	if !strings.Contains(trunc, "truncated") {
+		t.Errorf("truncated format: %q", trunc)
+	}
+}

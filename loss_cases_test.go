@@ -1,0 +1,161 @@
+package tcpfailover_test
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/tcp"
+)
+
+// The paper's section 4 enumerates the places where message loss can occur
+// and how the failover extension must handle each. These tests inject one
+// targeted loss per case on a replicated echo connection and require the
+// transfer to complete byte-exact.
+
+// frameIsTCPData reports whether the frame carries a TCP segment with
+// payload toward the given IP destination.
+func frameIsTCPData(f ethernet.Frame, dst ipv4.Addr) bool {
+	hdr, payload, err := ipv4.Unmarshal(f.Payload)
+	if err != nil || hdr.Protocol != ipv4.ProtoTCP || hdr.Dst != dst {
+		return false
+	}
+	if len(payload) < tcp.HeaderLen {
+		return false
+	}
+	return len(tcp.RawPayload(payload)) > 0
+}
+
+// runLossCase runs a replicated echo transfer with the given loss injector
+// installed once the stream is warmed up.
+func runLossCase(t *testing.T, arm func(sc *tcpfailover.Scenario, fired *int)) {
+	t.Helper()
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 128*1024)
+
+	if err := sc.RunUntil(func() bool { return ec.received > 16*1024 }, time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	fired := 0
+	arm(sc, &fired)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	if fired == 0 {
+		t.Fatal("loss injector never fired")
+	}
+	ec.check(t)
+}
+
+// Case 1: "The primary server does not receive a client segment m" — the
+// secondary still does. The primary must not acknowledge until it receives
+// a retransmission, and its own retransmitted reply is recognized by the
+// bridge and sent immediately.
+func TestLossCase1PrimaryDropsClientSegment(t *testing.T) {
+	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
+		primaryNIC := sc.Primary.Iface(0).NIC()
+		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
+			if *fired == 0 && dst == primaryNIC && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
+				*fired++
+				return true
+			}
+			return false
+		})
+	})
+}
+
+// Case 2: "The secondary server drops the client segment although the
+// primary server receives it."
+func TestLossCase2SecondaryDropsClientSegment(t *testing.T) {
+	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
+		secondaryNIC := sc.Secondary.Iface(0).NIC()
+		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
+			if *fired == 0 && dst == secondaryNIC && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
+				*fired++
+				return true
+			}
+			return false
+		})
+	})
+}
+
+// Case 3: "A client segment is lost on its way to the servers" — neither
+// replica receives it; both retransmit their pending reply and the bridge
+// sends it twice.
+func TestLossCase3ClientSegmentLostOnWire(t *testing.T) {
+	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
+		sc.ServerLAN.SetDropTxFilter(func(f ethernet.Frame) bool {
+			if *fired == 0 && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
+				*fired++
+				return true
+			}
+			return false
+		})
+	})
+}
+
+// Case 4: "The secondary server's segment is dropped by the primary" — the
+// diverted reply never reaches the bridge, so nothing goes to the client
+// until both replicas retransmit.
+func TestLossCase4DivertedSegmentDropped(t *testing.T) {
+	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
+		primaryNIC := sc.Primary.Iface(0).NIC()
+		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
+			if *fired > 0 || dst != primaryNIC {
+				return false
+			}
+			hdr, payload, err := ipv4.Unmarshal(f.Payload)
+			if err != nil || hdr.Protocol != ipv4.ProtoTCP ||
+				hdr.Src != tcpfailover.SecondaryAddr || len(payload) < tcp.HeaderLen {
+				return false
+			}
+			if len(tcp.RawPayload(payload)) == 0 {
+				return false
+			}
+			*fired++
+			return true
+		})
+	})
+}
+
+// Case 5: "The primary server's segment is lost on its way to the client."
+// Both replicas retransmit; the bridge forwards both copies.
+func TestLossCase5MergedSegmentLostTowardClient(t *testing.T) {
+	var before int64
+	var sc *tcpfailover.Scenario
+	runLossCase(t, func(s *tcpfailover.Scenario, fired *int) {
+		sc = s
+		before = s.Group.PrimaryBridge().Stats().RetransmissionsForwarded
+		s.ClientLink.SetDropTxFilter(func(f ethernet.Frame) bool {
+			if *fired == 0 && frameIsTCPData(f, tcpfailover.ClientAddr) {
+				*fired++
+				return true
+			}
+			return false
+		})
+	})
+	// The bridge must have recognized at least one server retransmission
+	// ("the primary server bridge will send two copies of m to C").
+	if got := sc.Group.PrimaryBridge().Stats().RetransmissionsForwarded; got <= before {
+		t.Errorf("RetransmissionsForwarded = %d, want > %d", got, before)
+	}
+}
+
+// TestLossSustainedRandom drives the replicated stream through sustained
+// random loss on both LANs — every section 4 case occurs repeatedly.
+func TestLossSustainedRandom(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.ServerLAN.LossRate = 0.01
+	opts.ClientLink.LossRate = 0.01
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 256*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+	if sc.ServerLAN.Stats().Lost == 0 && sc.ClientLink.Stats().Lost == 0 {
+		t.Error("no loss actually occurred")
+	}
+}

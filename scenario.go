@@ -1,0 +1,275 @@
+// Package tcpfailover is a faithful reproduction, as a deterministic
+// user-space simulation, of "Transparent TCP Connection Failover" (Koch,
+// Hortikar, Moser, Melliar-Smith; DSN 2003): a bridge sublayer between the
+// TCP and IP layers of a replicated server that fails a TCP endpoint over
+// from a primary to a secondary server transparently to the client and to
+// the server application.
+//
+// The package exposes a scenario builder that reconstructs the paper's
+// testbed (Figure 1): a client host behind a router, and a server LAN
+// carrying the primary, the secondary (snooping in promiscuous mode), and
+// the replication machinery. Everything below the applications — Ethernet,
+// ARP, IPv4, TCP, the bridges, the fault detectors — is implemented in the
+// internal packages from scratch on top of a discrete-event engine, so
+// experiments run reproducibly and report microsecond-scale virtual-time
+// measurements comparable to the paper's.
+package tcpfailover
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcpfailover/internal/arp"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/replica"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+// Well-known scenario addresses.
+var (
+	ClientAddr    = ipv4.MustParseAddr("10.0.2.1")
+	PrimaryAddr   = ipv4.MustParseAddr("10.0.1.1")
+	SecondaryAddr = ipv4.MustParseAddr("10.0.1.2")
+	TertiaryAddr  = ipv4.MustParseAddr("10.0.1.3")
+	routerLANAddr = ipv4.MustParseAddr("10.0.1.254")
+	routerWANAddr = ipv4.MustParseAddr("10.0.2.254")
+
+	serverPrefix = ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.1.0"), 24)
+	clientPrefix = ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.2.0"), 24)
+	defaultRoute = ipv4.PrefixFrom(0, 0)
+)
+
+// Options configures a Scenario.
+type Options struct {
+	// Seed drives the deterministic RNG (ISS choice, loss, jitter).
+	Seed int64
+	// Unreplicated builds a standard single-server scenario (the paper's
+	// "standard TCP" baseline): no secondary, no bridges.
+	Unreplicated bool
+	// Backups selects the replication degree: 1 (default) builds the
+	// paper's two-way pair; 2 builds the daisy-chained three-way group the
+	// paper sketches as an extension (head <- middle <- tail).
+	Backups int
+	// HostProfile sets per-host processing costs. Zero value uses
+	// DefaultProfile (calibrated against the paper's testbed).
+	HostProfile netstack.Profile
+	// ServerLAN configures the server-side Ethernet segment. Zero value is
+	// 100 Mbit/s half-duplex.
+	ServerLAN ethernet.Config
+	// ClientLink configures the client-router link. Zero value is
+	// 100 Mbit/s; WANOptions substitutes a slow lossy link.
+	ClientLink ethernet.Config
+	// TCP configures every host's TCP stack.
+	TCP tcp.Config
+	// ServerPorts lists the replicated service ports (failover-enabled).
+	ServerPorts []uint16
+	// PeerPorts marks server-initiated connections to these remote ports
+	// as failover connections.
+	PeerPorts []uint16
+	// Replication carries the remaining replica.Config knobs.
+	Replication replica.Config
+	// RouterARPDelay models the router's ARP-table update latency, part of
+	// the takeover window T.
+	RouterARPDelay time.Duration
+	// ColdARP leaves ARP caches empty; by default they are pre-warmed, as
+	// in the paper's measurements.
+	ColdARP bool
+	// StartDetectors starts heartbeat fault detectors (default true for
+	// replicated scenarios). Disable for microbenchmarks that want a quiet
+	// event queue.
+	StartDetectors *bool
+}
+
+// LANOptions returns the paper's LAN testbed: 100 Mbit/s Ethernet
+// everywhere, warm ARP caches.
+func LANOptions() Options {
+	return Options{
+		Seed:        1,
+		HostProfile: netstack.DefaultProfile(),
+		ServerLAN:   ethernet.Config{HalfDuplex: true, CollisionProb: 0.03, Propagation: time.Microsecond},
+		ClientLink:  ethernet.Config{HalfDuplex: true, CollisionProb: 0.03, Propagation: time.Microsecond},
+		ServerPorts: []uint16{80},
+	}
+}
+
+// WANOptions returns the paper's wide-area FTP environment: the client
+// reaches the server site over a slow, jittery, lossy bottleneck.
+func WANOptions() Options {
+	o := LANOptions()
+	o.ClientLink = ethernet.Config{
+		BandwidthBps: 1_544_000, // T1-class bottleneck
+		Propagation:  5 * time.Millisecond,
+		LossRate:     0.002,
+		Jitter:       4 * time.Millisecond,
+	}
+	return o
+}
+
+// Scenario is an assembled simulation of the paper's testbed.
+type Scenario struct {
+	Sched  *sim.Scheduler
+	Client *netstack.Host
+	// Primary is the (only) server in unreplicated scenarios.
+	Primary   *netstack.Host
+	Secondary *netstack.Host
+	Router    *netstack.Host
+	// Group is nil for unreplicated and chained scenarios.
+	Group *replica.Group
+	// Tertiary is the second backup in a chained scenario (Backups: 2).
+	Tertiary *netstack.Host
+	// Chain is non-nil for chained scenarios.
+	Chain *replica.Chain
+
+	ServerLAN  *ethernet.Segment
+	ClientLink *ethernet.Segment
+
+	opts Options
+}
+
+// ErrTimeout is returned by RunUntil when the condition does not hold
+// before the deadline.
+var ErrTimeout = errors.New("tcpfailover: condition not met before deadline")
+
+// NewScenario builds the topology of the paper's Figure 1.
+func NewScenario(opts Options) (*Scenario, error) {
+	if opts.HostProfile == (netstack.Profile{}) {
+		opts.HostProfile = netstack.DefaultProfile()
+	}
+	sched := sim.New(opts.Seed)
+	sc := &Scenario{Sched: sched, opts: opts}
+
+	sc.ServerLAN = ethernet.NewSegment(sched, opts.ServerLAN)
+	sc.ClientLink = ethernet.NewSegment(sched, opts.ClientLink)
+
+	macC := ethernet.MAC{2, 0, 0, 0, 0, 0x0c}
+	macP := ethernet.MAC{2, 0, 0, 0, 0, 0x01}
+	macS := ethernet.MAC{2, 0, 0, 0, 0, 0x02}
+	macR1 := ethernet.MAC{2, 0, 0, 0, 0, 0xf1}
+	macR2 := ethernet.MAC{2, 0, 0, 0, 0, 0xf2}
+
+	sc.Router = netstack.NewHost(sched, "router", opts.HostProfile)
+	sc.Router.SetForwarding(true)
+	sc.Router.AttachIface(sc.ServerLAN, macR1, routerLANAddr, serverPrefix)  // if 0
+	sc.Router.AttachIface(sc.ClientLink, macR2, routerWANAddr, clientPrefix) // if 1
+	if opts.RouterARPDelay > 0 {
+		sc.Router.SetARPConfig(0, arp.Config{ProcessingDelay: opts.RouterARPDelay})
+	}
+
+	sc.Client = netstack.NewHost(sched, "client", opts.HostProfile)
+	sc.Client.SetTCPConfig(opts.TCP)
+	sc.Client.AttachIface(sc.ClientLink, macC, ClientAddr, clientPrefix)
+	sc.Client.AddRoute(defaultRoute, routerWANAddr, 0)
+
+	sc.Primary = netstack.NewHost(sched, "primary", opts.HostProfile)
+	sc.Primary.SetTCPConfig(opts.TCP)
+	sc.Primary.AttachIface(sc.ServerLAN, macP, PrimaryAddr, serverPrefix)
+	sc.Primary.AddRoute(defaultRoute, routerLANAddr, 0)
+
+	macT := ethernet.MAC{2, 0, 0, 0, 0, 0x03}
+	if !opts.Unreplicated {
+		sc.Secondary = netstack.NewHost(sched, "secondary", opts.HostProfile)
+		sc.Secondary.SetTCPConfig(opts.TCP)
+		sc.Secondary.AttachIface(sc.ServerLAN, macS, SecondaryAddr, serverPrefix)
+		sc.Secondary.AddRoute(defaultRoute, routerLANAddr, 0)
+
+		cfg := opts.Replication
+		cfg.ServerPorts = append(cfg.ServerPorts, opts.ServerPorts...)
+		cfg.PeerPorts = append(cfg.PeerPorts, opts.PeerPorts...)
+		switch opts.Backups {
+		case 0, 1:
+			group, err := replica.NewGroup(sc.Primary, sc.Secondary, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			sc.Group = group
+		case 2:
+			sc.Tertiary = netstack.NewHost(sched, "tertiary", opts.HostProfile)
+			sc.Tertiary.SetTCPConfig(opts.TCP)
+			sc.Tertiary.AttachIface(sc.ServerLAN, macT, TertiaryAddr, serverPrefix)
+			sc.Tertiary.AddRoute(defaultRoute, routerLANAddr, 0)
+			chain, err := replica.NewChain(sc.Primary, sc.Secondary, sc.Tertiary, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			sc.Chain = chain
+		default:
+			return nil, fmt.Errorf("scenario: unsupported replication degree %d", opts.Backups)
+		}
+	}
+
+	if !opts.ColdARP {
+		sc.warmARP(macC, macP, macS, macT, macR1, macR2)
+	}
+	return sc, nil
+}
+
+func (sc *Scenario) warmARP(macC, macP, macS, macT, macR1, macR2 ethernet.MAC) {
+	// "We made sure that the MAC addresses of all nodes were present in
+	// the ARP caches" (paper, section 9).
+	sc.Client.Iface(0).ARP().Seed(routerWANAddr, macR2)
+	sc.Router.Iface(1).ARP().Seed(ClientAddr, macC)
+	sc.Router.Iface(0).ARP().Seed(PrimaryAddr, macP)
+	sc.Primary.Iface(0).ARP().Seed(routerLANAddr, macR1)
+	if sc.Secondary != nil {
+		sc.Router.Iface(0).ARP().Seed(SecondaryAddr, macS)
+		sc.Secondary.Iface(0).ARP().Seed(routerLANAddr, macR1)
+		sc.Primary.Iface(0).ARP().Seed(SecondaryAddr, macS)
+		sc.Secondary.Iface(0).ARP().Seed(PrimaryAddr, macP)
+	}
+	if sc.Tertiary != nil {
+		sc.Router.Iface(0).ARP().Seed(TertiaryAddr, macT)
+		sc.Tertiary.Iface(0).ARP().Seed(routerLANAddr, macR1)
+		sc.Tertiary.Iface(0).ARP().Seed(PrimaryAddr, macP)
+		sc.Tertiary.Iface(0).ARP().Seed(SecondaryAddr, macS)
+		sc.Primary.Iface(0).ARP().Seed(TertiaryAddr, macT)
+		sc.Secondary.Iface(0).ARP().Seed(TertiaryAddr, macT)
+	}
+}
+
+// Start begins replication (fault detectors). Call after installing the
+// replicated applications.
+func (sc *Scenario) Start() {
+	start := true
+	if sc.opts.StartDetectors != nil {
+		start = *sc.opts.StartDetectors
+	}
+	if !start {
+		return
+	}
+	if sc.Group != nil {
+		sc.Group.Start()
+	}
+	if sc.Chain != nil {
+		sc.Chain.Start()
+	}
+}
+
+// ServiceAddr returns the address clients connect to.
+func (sc *Scenario) ServiceAddr() ipv4.Addr { return PrimaryAddr }
+
+// Run executes the simulation for a span of virtual time.
+func (sc *Scenario) Run(d time.Duration) error { return sc.Sched.RunFor(d) }
+
+// RunUntil steps the simulation until cond holds or the deadline (absolute
+// virtual time) passes.
+func (sc *Scenario) RunUntil(cond func() bool, deadline time.Duration) error {
+	for !cond() {
+		if sc.Sched.Now() > deadline {
+			return fmt.Errorf("%w (now=%v)", ErrTimeout, sc.Sched.Now())
+		}
+		if !sc.Sched.Step() {
+			if cond() {
+				return nil
+			}
+			return fmt.Errorf("%w: event queue empty at %v", ErrTimeout, sc.Sched.Now())
+		}
+	}
+	return nil
+}
+
+// Now returns the current virtual time.
+func (sc *Scenario) Now() time.Duration { return sc.Sched.Now() }

@@ -1,0 +1,102 @@
+package tcpfailover_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tcpfailover"
+)
+
+// Facade-level API behavior.
+
+func TestScenarioRejectsBadReplicationDegree(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Backups = 5
+	if _, err := tcpfailover.NewScenario(opts); err == nil {
+		t.Fatal("Backups=5 accepted")
+	}
+}
+
+func TestScenarioUnreplicatedHasNoGroup(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Unreplicated = true
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Group != nil || sc.Chain != nil || sc.Secondary != nil {
+		t.Error("unreplicated scenario built replication machinery")
+	}
+	sc.Start() // must not panic with no detectors
+}
+
+func TestRunUntilTimesOut(t *testing.T) {
+	sc, err := tcpfailover.NewScenario(tcpfailover.LANOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	err = sc.RunUntil(func() bool { return false }, 50*time.Millisecond)
+	if !errors.Is(err, tcpfailover.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	if sc.Now() < 50*time.Millisecond {
+		t.Errorf("clock at %v, want past the deadline", sc.Now())
+	}
+}
+
+func TestDetectorsCanBeDisabled(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	off := false
+	opts.StartDetectors = &off
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	// With no detectors and no traffic the event queue drains completely.
+	if err := sc.Sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sched.PendingEvents() != 0 {
+		t.Errorf("%d events pending in a quiet scenario", sc.Sched.PendingEvents())
+	}
+	// And no failover ever triggers.
+	sc.Group.CrashPrimary()
+	if err := sc.Sched.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Group.SecondaryBridge().Active() {
+		t.Error("takeover ran despite detectors being disabled")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		sc := newEchoScenario(t, tcpfailover.LANOptions())
+		ec := startEchoClient(t, sc, 64*1024)
+		if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return sc.Now(), sc.Group.PrimaryBridge().Stats().SegmentsToClient
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Errorf("runs diverged: (%v, %d) vs (%v, %d)", t1, s1, t2, s2)
+	}
+}
+
+func TestWANOptionsShape(t *testing.T) {
+	o := tcpfailover.WANOptions()
+	if o.ClientLink.BandwidthBps >= 100_000_000 {
+		t.Error("WAN link not a bottleneck")
+	}
+	if o.ClientLink.Propagation == 0 || o.ClientLink.LossRate == 0 {
+		t.Error("WAN link missing latency/loss")
+	}
+	if o.ServerLAN.BandwidthBps != 0 && o.ServerLAN.BandwidthBps < 100_000_000 {
+		t.Error("server LAN should stay fast")
+	}
+}

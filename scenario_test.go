@@ -1,0 +1,195 @@
+package tcpfailover_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// newEchoScenario builds a replicated (or standard) echo service on port 80.
+func newEchoScenario(t *testing.T, opts tcpfailover.Options) *tcpfailover.Scenario {
+	t.Helper()
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	install := func(h *netstack.Host) error {
+		_, err := apps.NewEchoServer(h.TCP(), 80)
+		return err
+	}
+	if sc.Group != nil {
+		if err := sc.Group.OnEach(install); err != nil {
+			t.Fatalf("install echo: %v", err)
+		}
+	} else {
+		if err := install(sc.Primary); err != nil {
+			t.Fatalf("install echo: %v", err)
+		}
+	}
+	sc.Start()
+	return sc
+}
+
+// echoClient drives a client connection that sends total bytes and expects
+// them echoed back.
+type echoClient struct {
+	conn     *tcp.Conn
+	total    int64
+	sent     int64
+	received int64
+	badAt    int64
+	eof      bool
+	closed   bool
+	err      error
+}
+
+func startEchoClient(t *testing.T, sc *tcpfailover.Scenario, total int64) *echoClient {
+	t.Helper()
+	return startEchoClientPort(t, sc, total, 80)
+}
+
+func startEchoClientPort(t *testing.T, sc *tcpfailover.Scenario, total int64, port uint16) *echoClient {
+	t.Helper()
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), port)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	ec := &echoClient{conn: conn, total: total, badAt: -1}
+	chunk := make([]byte, 16*1024)
+	pump := func() {
+		for ec.sent < ec.total {
+			n := int64(len(chunk))
+			if ec.total-ec.sent < n {
+				n = ec.total - ec.sent
+			}
+			apps.Pattern(chunk[:n], ec.sent)
+			m, werr := conn.Write(chunk[:n])
+			if werr != nil {
+				return
+			}
+			if m == 0 {
+				return
+			}
+			ec.sent += int64(m)
+		}
+		conn.Close()
+	}
+	rbuf := make([]byte, 16*1024)
+	conn.OnEstablished(pump)
+	conn.OnWritable(pump)
+	conn.OnReadable(func() {
+		for {
+			n, rerr := conn.Read(rbuf)
+			if n > 0 {
+				if ec.badAt < 0 {
+					if i := apps.VerifyPattern(rbuf[:n], ec.received); i >= 0 {
+						ec.badAt = ec.received + int64(i)
+					}
+				}
+				ec.received += int64(n)
+				continue
+			}
+			if rerr == io.EOF {
+				ec.eof = true
+			}
+			return
+		}
+	})
+	conn.OnClose(func(err error) {
+		ec.closed = true
+		ec.err = err
+	})
+	return ec
+}
+
+func (ec *echoClient) check(t *testing.T) {
+	t.Helper()
+	if ec.sent != ec.total {
+		t.Errorf("client sent %d of %d bytes", ec.sent, ec.total)
+	}
+	if ec.received != ec.total {
+		t.Errorf("client received %d of %d echoed bytes", ec.received, ec.total)
+	}
+	if ec.badAt >= 0 {
+		t.Errorf("echoed stream corrupted at offset %d", ec.badAt)
+	}
+	if !ec.closed {
+		t.Error("connection did not close")
+	}
+	if ec.err != nil {
+		t.Errorf("connection closed with error: %v", ec.err)
+	}
+}
+
+func TestReplicatedEchoFaultFree(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 200*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 5*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+
+	pstats := sc.Group.PrimaryBridge().Stats()
+	if pstats.BytesMatched < 200*1024 {
+		t.Errorf("primary bridge matched %d bytes, want >= %d", pstats.BytesMatched, 200*1024)
+	}
+	sstats := sc.Group.SecondaryBridge().Stats()
+	if sstats.SnoopedIn == 0 || sstats.DivertedOut == 0 {
+		t.Errorf("secondary bridge inactive: %+v", sstats)
+	}
+}
+
+func TestStandardEchoBaseline(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Unreplicated = true
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 200*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 5*time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ec.check(t)
+}
+
+func TestFailoverPrimaryMidStream(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 512*1024)
+
+	// Let the transfer get going, then kill the primary.
+	if err := sc.RunUntil(func() bool { return ec.received > 64*1024 }, 60*time.Second); err != nil {
+		t.Fatalf("warm-up: %v (received=%d)", err, ec.received)
+	}
+	sc.Group.CrashPrimary()
+
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("post-failover run: %v (sent=%d received=%d eof=%v)",
+			err, ec.sent, ec.received, ec.eof)
+	}
+	ec.check(t)
+	if got := sc.Group.SecondaryBridge().Stats().TakenOver; got == 0 {
+		t.Error("secondary bridge reports no connections taken over")
+	}
+}
+
+func TestFailoverSecondaryMidStream(t *testing.T) {
+	sc := newEchoScenario(t, tcpfailover.LANOptions())
+	ec := startEchoClient(t, sc, 512*1024)
+
+	if err := sc.RunUntil(func() bool { return ec.received > 64*1024 }, 60*time.Second); err != nil {
+		t.Fatalf("warm-up: %v (received=%d)", err, ec.received)
+	}
+	sc.Group.CrashSecondary()
+
+	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
+		t.Fatalf("post-failure run: %v (sent=%d received=%d eof=%v)",
+			err, ec.sent, ec.received, ec.eof)
+	}
+	ec.check(t)
+	if !sc.Group.PrimaryBridge().Degraded() {
+		t.Error("primary bridge did not degrade after secondary failure")
+	}
+}

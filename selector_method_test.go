@@ -1,0 +1,69 @@
+package tcpfailover_test
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/core"
+	"tcpfailover/internal/netstack"
+)
+
+// The paper implements two methods of marking failover connections
+// (section 7): a per-socket option and a port set. The port set is what
+// every other test uses; this test exercises the per-socket method — one
+// specific connection on an otherwise unprotected port is enabled, and only
+// that connection survives the failover.
+func TestPerSocketFailoverEnabling(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.ServerPorts = nil // nothing enabled by port
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewEchoServer(h.TCP(), 7070)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+
+	// The client's deterministic stack allocates ephemeral ports from
+	// 49152, so the application can register its connection up front —
+	// the moral equivalent of setting the socket option before connect.
+	sc.Group.Selector().EnableTuple(core.TupleKey{
+		PeerAddr:  tcpfailover.ClientAddr,
+		PeerPort:  49152,
+		LocalPort: 7070,
+	})
+
+	protected := startEchoClientPort(t, sc, 96*1024, 7070) // gets port 49152
+	if err := sc.RunUntil(func() bool { return protected.received > 16*1024 }, time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	// The second connection (port 49153) is NOT enabled: it talks to the
+	// primary alone, like any ordinary TCP connection.
+	unprotected := startEchoClientPort(t, sc, 96*1024, 7070)
+	if err := sc.RunUntil(func() bool { return unprotected.received > 16*1024 }, time.Minute); err != nil {
+		t.Fatalf("unprotected warm-up: %v", err)
+	}
+
+	sc.Group.CrashPrimary()
+
+	// The protected connection completes byte-exact.
+	if err := sc.RunUntil(func() bool { return protected.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("protected run: %v (received=%d)", err, protected.received)
+	}
+	protected.check(t)
+
+	// The unprotected connection dies with the primary (reset by the
+	// promoted secondary, or a retransmission timeout).
+	if err := sc.RunUntil(func() bool { return unprotected.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("unprotected run: %v", err)
+	}
+	if unprotected.err == nil && unprotected.received == 96*1024 {
+		t.Error("unprotected connection survived the crash; selector leaked protection")
+	}
+}

@@ -1,0 +1,93 @@
+package tcpfailover_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// The bridge's Delta-seq arithmetic across the 2^32 boundary: the replicas'
+// initial sequence numbers straddle the wrap, so Delta-seq itself wraps,
+// and the translated stream crosses zero mid-transfer.
+
+func wrapScenario(t *testing.T, primaryISS, secondaryISS uint32) *tcpfailover.Scenario {
+	t.Helper()
+	opts := tcpfailover.LANOptions()
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Primary.SetTCPConfig(tcp.Config{
+		ISS: func(*rand.Rand) tcp.Seq { return tcp.Seq(primaryISS) },
+	})
+	sc.Secondary.SetTCPConfig(tcp.Config{
+		ISS: func(*rand.Rand) tcp.Seq { return tcp.Seq(secondaryISS) },
+	})
+	if err := sc.Group.OnEach(func(h *netstack.Host) error {
+		_, err := apps.NewEchoServer(h.TCP(), 80)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	return sc
+}
+
+func runWrapTransfer(t *testing.T, sc *tcpfailover.Scenario, crash bool) {
+	t.Helper()
+	ec := startEchoClient(t, sc, 96*1024)
+	if crash {
+		if err := sc.RunUntil(func() bool { return ec.received > 24*1024 }, time.Minute); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+		sc.Group.CrashPrimary()
+	}
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+func TestBridgeDeltaSeqWrap(t *testing.T) {
+	cases := []struct {
+		name       string
+		pISS, sISS uint32
+	}{
+		{"secondary_near_wrap", 1000, 0xffffffff - 2000},
+		{"primary_near_wrap", 0xffffffff - 2000, 1000},
+		{"both_near_wrap", 0xffffffff - 500, 0xffffffff - 40000},
+		{"secondary_at_max", 123456, 0xffffffff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runWrapTransfer(t, wrapScenario(t, tc.pISS, tc.sISS), false)
+		})
+	}
+}
+
+func TestBridgeDeltaSeqWrapWithFailover(t *testing.T) {
+	// The client's sequence space (synchronized to the secondary) crosses
+	// zero right around the takeover.
+	runWrapTransfer(t, wrapScenario(t, 7777, 0xffffffff-20000), true)
+}
+
+// TestWANFailover: the paper's WAN profile with a primary crash mid-FTP-
+// style bulk transfer — high RTT and loss compound with the takeover.
+func TestWANFailoverBulk(t *testing.T) {
+	opts := tcpfailover.WANOptions()
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 96*1024)
+	if err := sc.RunUntil(func() bool { return ec.received > 16*1024 }, 10*time.Minute); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	sc.Group.CrashPrimary()
+	if err := sc.RunUntil(func() bool { return ec.closed }, time.Hour); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
