@@ -3,13 +3,20 @@
 // next to the paper's published numbers. Absolute values depend on the
 // calibration profile; the shapes and ratios are the reproduction target.
 //
+// Independent simulations fan out across the machine's CPUs; every result
+// is a function of the per-simulation seeds only, so the output is
+// identical for any worker count. With -json the full run — configuration,
+// results, and per-experiment performance counters — is also written to
+// BENCH_trajectory.json.
+//
 // Usage:
 //
 //	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover]
-//	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
+//	               [-conns N] [-reps N] [-stream BYTES] [-runs N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,156 +25,127 @@ import (
 	"tcpfailover/internal/bench"
 )
 
+// trajectoryFile is where -json writes the machine-readable run record.
+const trajectoryFile = "BENCH_trajectory.json"
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover")
-		conns  = flag.Int("conns", 51, "connections for the setup-time experiment")
-		reps   = flag.Int("reps", 5, "repetitions per data point")
-		stream = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
-		runs   = flag.Int("runs", 9, "failover-latency runs")
+		conns   = flag.Int("conns", 51, "connections for the setup-time experiment")
+		reps    = flag.Int("reps", 5, "repetitions per data point")
+		stream  = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
+		runs    = flag.Int("runs", 9, "failover-latency runs")
+		jsonOut = flag.Bool("json", false, "also write "+trajectoryFile)
+		workers = flag.Int("workers", bench.Workers, "simulation worker goroutines")
 	)
 	flag.Parse()
-	if err := run(*experiment, *conns, *reps, *stream, *runs); err != nil {
+	bench.Workers = *workers
+	cfg := bench.Config{
+		Experiments: []string{*experiment},
+		Conns:       *conns,
+		Reps:        *reps,
+		Stream:      *stream,
+		Runs:        *runs,
+	}
+	if err := run(cfg, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, conns, reps int, stream int64, runs int) error {
-	all := experiment == "all"
-	did := false
-	if all || experiment == "connsetup" {
-		did = true
-		if err := connSetup(conns); err != nil {
+func run(cfg bench.Config, jsonOut bool) error {
+	t, err := bench.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	r := &t.Results
+	if r.ConnSetup != nil {
+		connSetup(r.ConnSetup)
+	}
+	if r.Fig3Std != nil {
+		figure3(r.Fig3Std, r.Fig3Fo)
+	}
+	if r.Fig4Std != nil {
+		figure4(r.Fig4Std, r.Fig4Fo)
+	}
+	if r.Fig5 != nil {
+		figure5(cfg.Stream, r.Fig5[0], r.Fig5[1])
+	}
+	if r.Fig6Std != nil {
+		figure6(r.Fig6Std, r.Fig6Fo)
+	}
+	if r.Ablation != nil {
+		ablate(cfg.Stream/4, r.Ablation)
+	}
+	if r.Failover != nil {
+		failover(*r.Failover)
+	}
+	if jsonOut {
+		blob, err := json.MarshalIndent(t, "", "  ")
+		if err != nil {
 			return err
 		}
-	}
-	if all || experiment == "fig3" {
-		did = true
-		if err := figure3(reps); err != nil {
+		if err := os.WriteFile(trajectoryFile, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-	}
-	if all || experiment == "fig4" {
-		did = true
-		if err := figure4(reps); err != nil {
-			return err
-		}
-	}
-	if all || experiment == "fig5" {
-		did = true
-		if err := figure5(stream); err != nil {
-			return err
-		}
-	}
-	if all || experiment == "fig6" {
-		did = true
-		if err := figure6(reps); err != nil {
-			return err
-		}
-	}
-	if all || experiment == "ablate" {
-		did = true
-		if err := ablate(stream / 4); err != nil {
-			return err
-		}
-	}
-	if all || experiment == "failover" {
-		did = true
-		if err := failover(runs); err != nil {
-			return err
-		}
-	}
-	if !did {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		fmt.Printf("wrote %s (%d experiments, %d workers)\n",
+			trajectoryFile, len(t.Perf.Experiments), t.Perf.Workers)
 	}
 	return nil
 }
 
 func us(d time.Duration) string { return fmt.Sprintf("%.0f", float64(d.Nanoseconds())/1e3) }
 
-func connSetup(n int) error {
+func connSetup(results []bench.ConnSetupResult) {
 	fmt.Println("=== E1: connection setup time (paper sec. 9) ===")
 	fmt.Println("paper:    standard TCP median 294 us, max 603 us")
 	fmt.Println("paper:    TCP Failover median 505 us, max 1193 us")
-	for _, mode := range []bench.Mode{bench.Standard, bench.Failover} {
-		r, err := bench.ConnectionSetup(mode, n)
-		if err != nil {
-			return fmt.Errorf("connsetup %s: %w", mode, err)
-		}
+	for _, r := range results {
 		fmt.Printf("measured: %-12s median %s us, max %s us (n=%d)\n",
 			r.Mode, us(r.Median), us(r.Max), r.N)
 	}
 	fmt.Println()
-	return nil
 }
 
-func figure3(reps int) error {
+func figure3(std, fo []bench.TransferPoint) {
 	fmt.Println("=== E2: Figure 3, client-to-server send time ===")
 	fmt.Println("(median time for the client application to send a message;")
 	fmt.Println(" paper shape: sub-32KB region grows slowly due to the 64 KB")
 	fmt.Println(" send buffer, larger messages grow at wire rate, failover above standard)")
-	std, err := bench.ClientToServerSend(bench.Standard, bench.Figure3Sizes, reps)
-	if err != nil {
-		return fmt.Errorf("fig3 standard: %w", err)
-	}
-	fo, err := bench.ClientToServerSend(bench.Failover, bench.Figure3Sizes, reps)
-	if err != nil {
-		return fmt.Errorf("fig3 failover: %w", err)
-	}
 	fmt.Printf("%12s %18s %18s %8s\n", "msg bytes", "standard TCP [us]", "TCP Failover [us]", "ratio")
 	for i := range std {
 		ratio := float64(fo[i].Median) / float64(std[i].Median)
 		fmt.Printf("%12d %18s %18s %8.2f\n", std[i].Size, us(std[i].Median), us(fo[i].Median), ratio)
 	}
 	fmt.Println()
-	return nil
 }
 
-func figure4(reps int) error {
+func figure4(std, fo []bench.TransferPoint) {
 	fmt.Println("=== E3: Figure 4, server-to-client transfer time ===")
 	fmt.Println("(client sends a 4-byte request; median time until the last byte")
 	fmt.Println(" of the sized reply arrives; paper shape as figure 3)")
-	std, err := bench.ServerToClientTransfer(bench.Standard, bench.Figure3Sizes, reps)
-	if err != nil {
-		return fmt.Errorf("fig4 standard: %w", err)
-	}
-	fo, err := bench.ServerToClientTransfer(bench.Failover, bench.Figure3Sizes, reps)
-	if err != nil {
-		return fmt.Errorf("fig4 failover: %w", err)
-	}
 	fmt.Printf("%12s %18s %18s %8s\n", "reply bytes", "standard TCP [us]", "TCP Failover [us]", "ratio")
 	for i := range std {
 		ratio := float64(fo[i].Median) / float64(std[i].Median)
 		fmt.Printf("%12d %18s %18s %8.2f\n", std[i].Size, us(std[i].Median), us(fo[i].Median), ratio)
 	}
 	fmt.Println()
-	return nil
 }
 
-func figure5(total int64) error {
+func figure5(total int64, std, fo bench.RateResult) {
 	fmt.Println("=== E4: Figure 5, send/receive rates for long streams ===")
 	fmt.Printf("(streams of %d MB)\n", total/(1024*1024))
 	fmt.Println("paper:    standard TCP  send 7833.70 KB/s   receive 8707.88 KB/s")
 	fmt.Println("paper:    TCP Failover  send 5835.80 KB/s   receive 3510.03 KB/s")
-	var std, fo bench.RateResult
-	var err error
-	if std, err = bench.StreamRates(bench.Standard, total); err != nil {
-		return fmt.Errorf("fig5 standard: %w", err)
-	}
-	if fo, err = bench.StreamRates(bench.Failover, total); err != nil {
-		return fmt.Errorf("fig5 failover: %w", err)
-	}
 	fmt.Printf("measured: %-13s send %8.2f KB/s   receive %8.2f KB/s\n", std.Mode, std.SendKBps, std.RecvKBps)
 	fmt.Printf("measured: %-13s send %8.2f KB/s   receive %8.2f KB/s\n", fo.Mode, fo.SendKBps, fo.RecvKBps)
 	fmt.Printf("ratios:   send %.2f (paper 0.74)   receive %.2f (paper 0.40)\n",
 		fo.SendKBps/std.SendKBps, fo.RecvKBps/std.RecvKBps)
 	fmt.Println()
-	return nil
 }
 
-func figure6(reps int) error {
+func figure6(std, fo []bench.FTPPoint) {
 	fmt.Println("=== E5: Figure 6, FTP get/put rates over a WAN [KB/s] ===")
 	fmt.Println("paper (get std/fo, put std/fo):")
 	fmt.Println("  0.2 KB:    8.75/8.75      512.38/536.05")
@@ -175,14 +153,6 @@ func figure6(reps int) error {
 	fmt.Println("  18.2 KB:   90.41/70.74    3846.13/3890.42")
 	fmt.Println("  144.9 KB:  156.80/138.35  219.52/200.31")
 	fmt.Println("  1738.1 KB: 176.03/171.72  168.07/176.63")
-	std, err := bench.FTPRates(bench.Standard, reps)
-	if err != nil {
-		return fmt.Errorf("fig6 standard: %w", err)
-	}
-	fo, err := bench.FTPRates(bench.Failover, reps)
-	if err != nil {
-		return fmt.Errorf("fig6 failover: %w", err)
-	}
 	fmt.Printf("%12s %12s | %10s %10s | %10s %10s\n",
 		"file", "size [KB]", "get std", "get fo", "put std", "put fo")
 	for i := range std {
@@ -191,33 +161,22 @@ func figure6(reps int) error {
 			std[i].PutKBps, fo[i].PutKBps)
 	}
 	fmt.Println()
-	return nil
 }
 
-func ablate(total int64) error {
+func ablate(total int64, rows []bench.AblationRow) {
 	fmt.Println("=== Ablations: design choices toggled one at a time ===")
 	fmt.Printf("(figure-5 workload, %d MB streams)\n", total/(1024*1024))
-	rows, err := bench.Ablation(total)
-	if err != nil {
-		return err
-	}
 	for _, r := range rows {
 		fmt.Printf("%-42s send %8.2f KB/s   receive %8.2f KB/s\n", r.Name, r.SendKBps, r.RecvKBps)
 	}
 	fmt.Println()
-	return nil
 }
 
-func failover(runs int) error {
+func failover(r bench.FailoverResult) {
 	fmt.Println("=== E6 (extension): failover latency, primary crash mid-stream ===")
 	fmt.Println("(not measured in the paper; client-observed stall =")
 	fmt.Println(" detection timeout + IP takeover + client RTO recovery)")
-	r, err := bench.FailoverLatency(runs)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("measured: stall median %v, max %v over %d runs; streams intact: %v\n",
 		r.StallMedian, r.StallMax, r.N, r.AllIntact)
 	fmt.Println()
-	return nil
 }

@@ -107,7 +107,7 @@ type entry struct {
 type pending struct {
 	callbacks []func(ethernet.MAC, error)
 	attempts  int
-	timer     *sim.Event
+	timer     sim.Timer
 }
 
 // Module is one interface's ARP engine: a cache plus resolver.
@@ -224,9 +224,13 @@ func (m *Module) Announce(ip ipv4.Addr) error {
 	})
 }
 
-// HandleFrame processes a received ARP frame.
+// HandleFrame processes a received ARP frame, releasing its buffer: the
+// parse copies every field out of the payload.
 func (m *Module) HandleFrame(f ethernet.Frame) {
 	pkt, err := Unmarshal(f.Payload)
+	if f.Buf != nil {
+		f.Buf.Release()
+	}
 	if err != nil {
 		return
 	}

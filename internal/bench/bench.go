@@ -34,6 +34,12 @@ func (m Mode) String() string {
 	return "TCP Failover"
 }
 
+// MarshalJSON writes the mode's name rather than its ordinal, so the
+// trajectory file is readable without this package's constants.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
 // Figure3Sizes are the paper's message lengths (64 bytes to 1 MByte).
 var Figure3Sizes = []int64{
 	64, 256, 1024, 4096, 16384, 32768, 65536,
@@ -77,46 +83,57 @@ func installOnServers(sc *tcpfailover.Scenario, install func(h *netstack.Host) e
 
 // ConnSetupResult reports experiment E1.
 type ConnSetupResult struct {
-	Mode   Mode
-	N      int
-	Median time.Duration
-	Max    time.Duration
-	Min    time.Duration
+	Mode   Mode          `json:"mode"`
+	N      int           `json:"n"`
+	Median time.Duration `json:"median_ns"`
+	Max    time.Duration `json:"max_ns"`
+	Min    time.Duration `json:"min_ns"`
 }
 
 // ConnectionSetup measures the client-observed connect() latency over n
-// sequential connections with warm ARP caches (paper section 9, first
-// measurement).
+// connections with warm ARP caches (paper section 9, first measurement).
+// The n independent simulations run across Workers goroutines; each is
+// fully determined by its seed, so the result is the same for any worker
+// count.
 func ConnectionSetup(mode Mode, n int) (ConnSetupResult, error) {
-	var d metrics.Durations
-	for i := range n {
+	durs := make([]time.Duration, n)
+	err := parallelEach(n, func(i int) error {
 		sc, err := scenario(mode, int64(1000+i), benchPort)
 		if err != nil {
-			return ConnSetupResult{}, err
+			return err
 		}
 		if err := installOnServers(sc, func(h *netstack.Host) error {
 			_, err := apps.NewSinkServer(h.TCP(), benchPort)
 			return err
 		}); err != nil {
-			return ConnSetupResult{}, err
+			return err
 		}
 		sc.Start()
 		// Let heartbeats settle so detector traffic is steady-state.
 		if err := sc.Run(5 * time.Millisecond); err != nil {
-			return ConnSetupResult{}, err
+			return err
 		}
 		start := sc.Now()
 		conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
 		if err != nil {
-			return ConnSetupResult{}, err
+			return err
 		}
 		established := time.Duration(0)
 		conn.OnEstablished(func() { established = sc.Now() })
 		if err := sc.RunUntil(func() bool { return established > 0 }, start+5*time.Second); err != nil {
-			return ConnSetupResult{}, fmt.Errorf("connection %d: %w", i, err)
+			return fmt.Errorf("connection %d: %w", i, err)
 		}
-		d.Add(established - start)
+		durs[i] = established - start
 		conn.Abort()
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return ConnSetupResult{}, err
+	}
+	var d metrics.Durations
+	for _, v := range durs {
+		d.Add(v)
 	}
 	return ConnSetupResult{Mode: mode, N: n, Median: d.Median(), Max: d.Max(), Min: d.Min()}, nil
 }
@@ -125,8 +142,8 @@ func ConnectionSetup(mode Mode, n int) (ConnSetupResult, error) {
 
 // TransferPoint is one curve point of Figures 3 and 4.
 type TransferPoint struct {
-	Size   int64
-	Median time.Duration
+	Size   int64         `json:"size"`
+	Median time.Duration `json:"median_ns"`
 }
 
 // ClientToServerSend measures, per message size, the time for the client
@@ -134,34 +151,47 @@ type TransferPoint struct {
 // send call returns when the application has passed the last byte to the
 // stack, not when the last byte has been put on the wire."
 func ClientToServerSend(mode Mode, sizes []int64, reps int) ([]TransferPoint, error) {
+	// Flatten the size × rep grid into independent jobs; each simulation's
+	// outcome depends only on (mode, size, seed), so the fan-out preserves
+	// the sequential results exactly.
+	durs := make([]time.Duration, len(sizes)*reps)
+	err := parallelEach(len(durs), func(j int) error {
+		size, rep := sizes[j/reps], j%reps
+		sc, err := scenario(mode, int64(2000+rep), benchPort)
+		if err != nil {
+			return err
+		}
+		if err := installOnServers(sc, func(h *netstack.Host) error {
+			_, err := apps.NewSinkServer(h.TCP(), benchPort)
+			return err
+		}); err != nil {
+			return err
+		}
+		sc.Start()
+		tr, err := apps.NewBulkSendPaced(sc.Client.TCP(), sc.Sched,
+			sc.ServiceAddr(), benchPort, size, SendPacing)
+		if err != nil {
+			return err
+		}
+		if err := sc.RunUntil(func() bool { return tr.Done || tr.Err != nil },
+			10*time.Minute); err != nil {
+			return fmt.Errorf("size %d rep %d: %w", size, rep, err)
+		}
+		if tr.Err != nil {
+			return fmt.Errorf("size %d rep %d: %w", size, rep, tr.Err)
+		}
+		durs[j] = tr.SendDone - tr.Established
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]TransferPoint, 0, len(sizes))
-	for _, size := range sizes {
+	for si, size := range sizes {
 		var d metrics.Durations
-		for rep := range reps {
-			sc, err := scenario(mode, int64(2000+rep), benchPort)
-			if err != nil {
-				return nil, err
-			}
-			if err := installOnServers(sc, func(h *netstack.Host) error {
-				_, err := apps.NewSinkServer(h.TCP(), benchPort)
-				return err
-			}); err != nil {
-				return nil, err
-			}
-			sc.Start()
-			tr, err := apps.NewBulkSendPaced(sc.Client.TCP(), sc.Sched,
-				sc.ServiceAddr(), benchPort, size, SendPacing)
-			if err != nil {
-				return nil, err
-			}
-			if err := sc.RunUntil(func() bool { return tr.Done || tr.Err != nil },
-				10*time.Minute); err != nil {
-				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, err)
-			}
-			if tr.Err != nil {
-				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, tr.Err)
-			}
-			d.Add(tr.SendDone - tr.Established)
+		for _, v := range durs[si*reps : (si+1)*reps] {
+			d.Add(v)
 		}
 		out = append(out, TransferPoint{Size: size, Median: d.Median()})
 	}
@@ -174,37 +204,47 @@ func ClientToServerSend(mode Mode, sizes []int64, reps int) ([]TransferPoint, er
 // starting to send a 4-byte request until it receives the last byte of the
 // reply (the paper's Figure 4).
 func ServerToClientTransfer(mode Mode, sizes []int64, reps int) ([]TransferPoint, error) {
+	durs := make([]time.Duration, len(sizes)*reps)
+	err := parallelEach(len(durs), func(j int) error {
+		size, rep := sizes[j/reps], j%reps
+		sc, err := scenario(mode, int64(3000+rep), benchPort)
+		if err != nil {
+			return err
+		}
+		if err := installOnServers(sc, func(h *netstack.Host) error {
+			_, err := apps.NewReqReplyServer(h.TCP(), benchPort)
+			return err
+		}); err != nil {
+			return err
+		}
+		sc.Start()
+		cl, err := apps.NewReqReplyClient(sc.Client.TCP(), sc.Sched,
+			sc.ServiceAddr(), benchPort)
+		if err != nil {
+			return err
+		}
+		var elapsed time.Duration
+		done := false
+		cl.Request(size, func(e time.Duration) {
+			elapsed = e
+			done = true
+		})
+		if err := sc.RunUntil(func() bool { return done }, 10*time.Minute); err != nil {
+			return fmt.Errorf("size %d rep %d: %w", size, rep, err)
+		}
+		durs[j] = elapsed
+		cl.Conn.Abort()
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]TransferPoint, 0, len(sizes))
-	for _, size := range sizes {
+	for si, size := range sizes {
 		var d metrics.Durations
-		for rep := range reps {
-			sc, err := scenario(mode, int64(3000+rep), benchPort)
-			if err != nil {
-				return nil, err
-			}
-			if err := installOnServers(sc, func(h *netstack.Host) error {
-				_, err := apps.NewReqReplyServer(h.TCP(), benchPort)
-				return err
-			}); err != nil {
-				return nil, err
-			}
-			sc.Start()
-			cl, err := apps.NewReqReplyClient(sc.Client.TCP(), sc.Sched,
-				sc.ServiceAddr(), benchPort)
-			if err != nil {
-				return nil, err
-			}
-			var elapsed time.Duration
-			done := false
-			cl.Request(size, func(e time.Duration) {
-				elapsed = e
-				done = true
-			})
-			if err := sc.RunUntil(func() bool { return done }, 10*time.Minute); err != nil {
-				return nil, fmt.Errorf("size %d rep %d: %w", size, rep, err)
-			}
-			d.Add(elapsed)
-			cl.Conn.Abort()
+		for _, v := range durs[si*reps : (si+1)*reps] {
+			d.Add(v)
 		}
 		out = append(out, TransferPoint{Size: size, Median: d.Median()})
 	}
@@ -215,12 +255,12 @@ func ServerToClientTransfer(mode Mode, sizes []int64, reps int) ([]TransferPoint
 
 // RateResult reports experiment E4 for one mode.
 type RateResult struct {
-	Mode       Mode
-	Bytes      int64
-	SendKBps   float64 // client-to-server
-	RecvKBps   float64 // server-to-client
-	SendElapse time.Duration
-	RecvElapse time.Duration
+	Mode       Mode          `json:"mode"`
+	Bytes      int64         `json:"bytes"`
+	SendKBps   float64       `json:"send_kbps"` // client-to-server
+	RecvKBps   float64       `json:"recv_kbps"` // server-to-client
+	SendElapse time.Duration `json:"send_elapse_ns"`
+	RecvElapse time.Duration `json:"recv_elapse_ns"`
 }
 
 // StreamRates measures sustained send and receive rates with streams of
@@ -245,76 +285,88 @@ func streamRates(mode Mode, total int64, mutate func(*tcpfailover.Options)) (Rat
 		return tcpfailover.NewScenario(opts)
 	}
 
-	// Send direction: client -> server.
-	sc, err := build(4000)
-	if err != nil {
-		return res, err
-	}
-	var sink *apps.SinkServer
-	if err := installOnServers(sc, func(h *netstack.Host) error {
-		s, err := apps.NewSinkServer(h.TCP(), benchPort)
-		if sink == nil {
-			sink = s
+	// The two directions are independent simulations (seeds 4000 and 4001)
+	// writing disjoint fields of res; run them on separate workers.
+	// parallelEach reports the lowest-indexed error, so a send-direction
+	// failure wins, matching the old sequential order.
+	err := parallelEach(2, func(dir int) error {
+		if dir == 0 {
+			// Send direction: client -> server.
+			sc, err := build(4000)
+			if err != nil {
+				return err
+			}
+			var sink *apps.SinkServer
+			if err := installOnServers(sc, func(h *netstack.Host) error {
+				s, err := apps.NewSinkServer(h.TCP(), benchPort)
+				if sink == nil {
+					sink = s
+				}
+				return err
+			}); err != nil {
+				return err
+			}
+			sc.Start()
+			tr, err := apps.NewBulkSend(sc.Client.TCP(), sc.Sched, sc.ServiceAddr(), benchPort, total)
+			if err != nil {
+				return err
+			}
+			if err := sc.RunUntil(func() bool { return sink.Received >= total || tr.Err != nil },
+				24*time.Hour); err != nil {
+				return fmt.Errorf("send stream: %w", err)
+			}
+			if tr.Err != nil {
+				return fmt.Errorf("send stream: %w", tr.Err)
+			}
+			// Rate over the whole transfer: connection established until the
+			// server application has consumed the last byte.
+			res.SendElapse = sc.Now() - tr.Established
+			res.SendKBps = metrics.RateKBps(total, res.SendElapse)
+			addEvents(sc)
+			return nil
 		}
-		return err
-	}); err != nil {
-		return res, err
-	}
-	sc.Start()
-	tr, err := apps.NewBulkSend(sc.Client.TCP(), sc.Sched, sc.ServiceAddr(), benchPort, total)
-	if err != nil {
-		return res, err
-	}
-	if err := sc.RunUntil(func() bool { return sink.Received >= total || tr.Err != nil },
-		24*time.Hour); err != nil {
-		return res, fmt.Errorf("send stream: %w", err)
-	}
-	if tr.Err != nil {
-		return res, fmt.Errorf("send stream: %w", tr.Err)
-	}
-	// Rate over the whole transfer: connection established until the server
-	// application has consumed the last byte.
-	res.SendElapse = sc.Now() - tr.Established
-	res.SendKBps = metrics.RateKBps(total, res.SendElapse)
 
-	// Receive direction: server -> client.
-	sc2, err := build(4001)
-	if err != nil {
-		return res, err
-	}
-	if err := installOnServers(sc2, func(h *netstack.Host) error {
-		_, err := apps.NewPushServer(h.TCP(), benchPort, total)
-		return err
-	}); err != nil {
-		return res, err
-	}
-	sc2.Start()
-	conn, err := sc2.Client.TCP().Dial(sc2.ServiceAddr(), benchPort)
-	if err != nil {
-		return res, err
-	}
-	recv := apps.NewReceiver(conn, sc2.Sched)
-	var established2 time.Duration
-	conn.OnEstablished(func() { established2 = sc2.Now() })
-	if err := sc2.RunUntil(func() bool { return recv.EOF }, 24*time.Hour); err != nil {
-		return res, fmt.Errorf("recv stream: %w", err)
-	}
-	if recv.BadAt >= 0 {
-		return res, fmt.Errorf("recv stream corrupted at %d", recv.BadAt)
-	}
-	res.RecvElapse = recv.EOFAt - established2
-	res.RecvKBps = metrics.RateKBps(recv.Received, res.RecvElapse)
-	return res, nil
+		// Receive direction: server -> client.
+		sc2, err := build(4001)
+		if err != nil {
+			return err
+		}
+		if err := installOnServers(sc2, func(h *netstack.Host) error {
+			_, err := apps.NewPushServer(h.TCP(), benchPort, total)
+			return err
+		}); err != nil {
+			return err
+		}
+		sc2.Start()
+		conn, err := sc2.Client.TCP().Dial(sc2.ServiceAddr(), benchPort)
+		if err != nil {
+			return err
+		}
+		recv := apps.NewReceiver(conn, sc2.Sched)
+		var established2 time.Duration
+		conn.OnEstablished(func() { established2 = sc2.Now() })
+		if err := sc2.RunUntil(func() bool { return recv.EOF }, 24*time.Hour); err != nil {
+			return fmt.Errorf("recv stream: %w", err)
+		}
+		if recv.BadAt >= 0 {
+			return fmt.Errorf("recv stream corrupted at %d", recv.BadAt)
+		}
+		res.RecvElapse = recv.EOFAt - established2
+		res.RecvKBps = metrics.RateKBps(recv.Received, res.RecvElapse)
+		addEvents(sc2)
+		return nil
+	})
+	return res, err
 }
 
 // --- E5: Figure 6, FTP over a WAN ---------------------------------------------
 
 // FTPPoint is one row of the paper's Figure 6.
 type FTPPoint struct {
-	Name    string
-	FileKB  float64
-	GetKBps float64
-	PutKBps float64
+	Name    string  `json:"name"`
+	FileKB  float64 `json:"file_kb"`
+	GetKBps float64 `json:"get_kbps"`
+	PutKBps float64 `json:"put_kbps"`
 }
 
 // FTPRates transfers the paper's file set over the WAN profile and reports
@@ -322,42 +374,54 @@ type FTPPoint struct {
 func FTPRates(mode Mode, reps int) ([]FTPPoint, error) {
 	files := apps.DefaultFTPFiles()
 	names := files.Names()
-	getRates := make(map[string][]float64, len(names))
-	putRates := make(map[string][]float64, len(names))
 
-	for rep := range reps {
+	// Each rep is one full FTP session in its own simulation; collect each
+	// rep's rates in a private slot, then merge in rep order so the median
+	// input sequence matches the sequential run.
+	type repRates struct {
+		get, put map[string]float64
+		gotGet   map[string]bool
+		gotPut   map[string]bool
+	}
+	slots := make([]repRates, reps)
+	err := parallelEach(reps, func(rep int) error {
 		opts := tcpfailover.WANOptions()
 		opts.Seed = int64(5000 + rep)
 		opts.Unreplicated = mode == Standard
 		opts.ServerPorts = []uint16{apps.FTPControlPort, apps.FTPDataPort}
 		sc, err := tcpfailover.NewScenario(opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := installOnServers(sc, func(h *netstack.Host) error {
 			_, err := apps.NewFTPServer(h.TCP(), files)
 			return err
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		sc.Start()
 		cl, err := apps.NewFTPClient(sc.Client.TCP(), sc.Sched,
 			tcpfailover.ClientAddr, sc.ServiceAddr())
 		if err != nil {
-			return nil, err
+			return err
 		}
+		slot := &slots[rep]
+		slot.get = make(map[string]float64, len(names))
+		slot.put = make(map[string]float64, len(names))
+		slot.gotGet = make(map[string]bool, len(names))
+		slot.gotPut = make(map[string]bool, len(names))
 		cl.PutPacing = FTPPutPacing
 		cl.Login(nil)
 		for _, name := range names {
 			n := name
 			cl.Get(n, func(r apps.FTPResult) {
 				if r.Err == nil && r.BadAt < 0 {
-					getRates[n] = append(getRates[n], r.RateKBps)
+					slot.get[n], slot.gotGet[n] = r.RateKBps, true
 				}
 			})
 			cl.Put("up-"+n, files[n], func(r apps.FTPResult) {
 				if r.Err == nil {
-					putRates[n] = append(putRates[n], r.RateKBps)
+					slot.put[n], slot.gotPut[n] = r.RateKBps, true
 				}
 			})
 		}
@@ -365,7 +429,25 @@ func FTPRates(mode Mode, reps int) ([]FTPPoint, error) {
 		cl.Done = func() { done = true }
 		cl.Quit()
 		if err := sc.RunUntil(func() bool { return done }, 24*time.Hour); err != nil {
-			return nil, fmt.Errorf("ftp rep %d: %w", rep, err)
+			return fmt.Errorf("ftp rep %d: %w", rep, err)
+		}
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	getRates := make(map[string][]float64, len(names))
+	putRates := make(map[string][]float64, len(names))
+	for _, slot := range slots {
+		for _, name := range names {
+			if slot.gotGet[name] {
+				getRates[name] = append(getRates[name], slot.get[name])
+			}
+			if slot.gotPut[name] {
+				putRates[name] = append(putRates[name], slot.put[name])
+			}
 		}
 	}
 
@@ -398,9 +480,9 @@ func medianFloat(v []float64) float64 {
 
 // AblationRow is one configuration's stream rates.
 type AblationRow struct {
-	Name     string
-	SendKBps float64
-	RecvKBps float64
+	Name     string  `json:"name"`
+	SendKBps float64 `json:"send_kbps"`
+	RecvKBps float64 `json:"recv_kbps"`
 }
 
 // Ablation reruns the Figure 5 workload with individual design choices
@@ -428,13 +510,18 @@ func Ablation(total int64) ([]AblationRow, error) {
 			o.Backups = 2
 		}},
 	}
-	out := make([]AblationRow, 0, len(configs))
-	for _, cfg := range configs {
+	out := make([]AblationRow, len(configs))
+	err := parallelEach(len(configs), func(ci int) error {
+		cfg := configs[ci]
 		r, err := streamRates(cfg.mode, total, cfg.mutate)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", cfg.name, err)
+			return fmt.Errorf("ablation %q: %w", cfg.name, err)
 		}
-		out = append(out, AblationRow{Name: cfg.name, SendKBps: r.SendKBps, RecvKBps: r.RecvKBps})
+		out[ci] = AblationRow{Name: cfg.name, SendKBps: r.SendKBps, RecvKBps: r.RecvKBps}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -444,10 +531,10 @@ func Ablation(total int64) ([]AblationRow, error) {
 // FailoverResult reports the extension experiment: client-observed service
 // interruption when the primary crashes mid-stream.
 type FailoverResult struct {
-	N           int
-	StallMedian time.Duration
-	StallMax    time.Duration
-	AllIntact   bool // every byte delivered exactly once, in order
+	N           int           `json:"n"`
+	StallMedian time.Duration `json:"stall_median_ns"`
+	StallMax    time.Duration `json:"stall_max_ns"`
+	AllIntact   bool          `json:"all_intact"` // every byte delivered exactly once, in order
 }
 
 // FailoverLatency crashes the primary at n different points during a
@@ -455,26 +542,26 @@ type FailoverResult struct {
 // received-byte timeline around the failure.
 func FailoverLatency(n int) (FailoverResult, error) {
 	const total = 2 * 1024 * 1024
-	var stalls metrics.Durations
-	intact := true
-	for i := range n {
+	gaps := make([]time.Duration, n)
+	intactSlots := make([]bool, n)
+	err := parallelEach(n, func(i int) error {
 		opts := tcpfailover.LANOptions()
 		opts.Seed = int64(6000 + i)
 		opts.ServerPorts = []uint16{benchPort}
 		sc, err := tcpfailover.NewScenario(opts)
 		if err != nil {
-			return FailoverResult{}, err
+			return err
 		}
 		if err := sc.Group.OnEach(func(h *netstack.Host) error {
 			_, err := apps.NewPushServer(h.TCP(), benchPort, total)
 			return err
 		}); err != nil {
-			return FailoverResult{}, err
+			return err
 		}
 		sc.Start()
 		conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
 		if err != nil {
-			return FailoverResult{}, err
+			return err
 		}
 		recv := apps.NewReceiver(conn, sc.Sched)
 
@@ -484,7 +571,7 @@ func FailoverLatency(n int) (FailoverResult, error) {
 		crashed := false
 		for !recv.EOF {
 			if !sc.Sched.Step() {
-				return FailoverResult{}, fmt.Errorf("run %d: queue empty (received=%d)", i, recv.Received)
+				return fmt.Errorf("run %d: queue empty (received=%d)", i, recv.Received)
 			}
 			if recv.Received != prevReceived {
 				if lastProgress > 0 && crashed {
@@ -501,13 +588,22 @@ func FailoverLatency(n int) (FailoverResult, error) {
 				lastProgress = sc.Now()
 			}
 			if sc.Now() > time.Hour {
-				return FailoverResult{}, fmt.Errorf("run %d: timeout (received=%d)", i, recv.Received)
+				return fmt.Errorf("run %d: timeout (received=%d)", i, recv.Received)
 			}
 		}
-		if recv.BadAt >= 0 || recv.Received != total {
-			intact = false
-		}
-		stalls.Add(maxGap)
+		intactSlots[i] = recv.BadAt < 0 && recv.Received == total
+		gaps[i] = maxGap
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	var stalls metrics.Durations
+	intact := true
+	for i := range n {
+		stalls.Add(gaps[i])
+		intact = intact && intactSlots[i]
 	}
 	return FailoverResult{
 		N:           n,

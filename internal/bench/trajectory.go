@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config selects which experiments RunAll executes and with what workload
+// parameters. It mirrors the failover-bench command-line flags.
+type Config struct {
+	// Experiments names the experiments to run: connsetup, fig3, fig4,
+	// fig5, fig6, ablate, failover. Empty or containing "all" runs
+	// everything. Execution order is always the canonical order above,
+	// regardless of the order named here.
+	Experiments []string `json:"experiments"`
+	Conns       int      `json:"conns"`  // connections for E1
+	Reps        int      `json:"reps"`   // repetitions per data point (E2, E3, E5)
+	Stream      int64    `json:"stream"` // stream bytes for E4 (ablations use a quarter)
+	Runs        int      `json:"runs"`   // failover-latency runs (E6)
+	// Sizes overrides the message-size sweep for figures 3 and 4;
+	// nil means Figure3Sizes.
+	Sizes []int64 `json:"sizes,omitempty"`
+}
+
+// experimentOrder is the canonical execution order; results are emitted in
+// this order no matter how Config.Experiments is spelled.
+var experimentOrder = []string{"connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover"}
+
+// enabled expands Config.Experiments into a membership set, rejecting
+// unknown names.
+func (c Config) enabled() (map[string]bool, error) {
+	set := make(map[string]bool, len(experimentOrder))
+	names := c.Experiments
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	for _, name := range names {
+		if name == "all" {
+			for _, e := range experimentOrder {
+				set[e] = true
+			}
+			continue
+		}
+		known := false
+		for _, e := range experimentOrder {
+			known = known || e == name
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		set[name] = true
+	}
+	return set, nil
+}
+
+// Results holds every experiment's outputs in config order. All values are
+// functions of the simulation seeds only, so for a fixed Config the
+// marshalled Results are byte-identical regardless of the worker count —
+// the determinism test pins this down.
+type Results struct {
+	ConnSetup []ConnSetupResult `json:"conn_setup,omitempty"` // standard, then failover
+	Fig3Std   []TransferPoint   `json:"fig3_standard,omitempty"`
+	Fig3Fo    []TransferPoint   `json:"fig3_failover,omitempty"`
+	Fig4Std   []TransferPoint   `json:"fig4_standard,omitempty"`
+	Fig4Fo    []TransferPoint   `json:"fig4_failover,omitempty"`
+	Fig5      []RateResult      `json:"fig5,omitempty"` // standard, then failover
+	Fig6Std   []FTPPoint        `json:"fig6_standard,omitempty"`
+	Fig6Fo    []FTPPoint        `json:"fig6_failover,omitempty"`
+	Ablation  []AblationRow     `json:"ablation,omitempty"`
+	Failover  *FailoverResult   `json:"failover,omitempty"`
+}
+
+// ExperimentPerf records one experiment's host-side cost: wall-clock time,
+// completed simulations, heap allocations, and executed simulation events.
+// Unlike Results these vary run to run; they are the perf_opt trajectory.
+type ExperimentPerf struct {
+	Name         string  `json:"name"`
+	WallNS       int64   `json:"wall_ns"`
+	Sims         int64   `json:"sims"`
+	NsPerSim     int64   `json:"ns_per_sim"`
+	Allocs       int64   `json:"allocs"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Perf aggregates the per-experiment cost figures.
+type Perf struct {
+	Workers     int              `json:"workers"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	WallNS      int64            `json:"wall_ns"`
+	Experiments []ExperimentPerf `json:"experiments"`
+}
+
+// Trajectory is the machine-readable record of one failover-bench run:
+// the configuration, the (deterministic) experiment results, and the
+// (host-dependent) performance counters.
+type Trajectory struct {
+	Config  Config  `json:"config"`
+	Results Results `json:"results"`
+	Perf    Perf    `json:"perf"`
+}
+
+// measure runs one experiment under the perf counters and appends its
+// ExperimentPerf row. Allocations are the process-wide Mallocs delta — an
+// upper bound that includes harness overhead, which is exactly what the
+// optimisation trajectory should charge for.
+func (t *Trajectory) measure(name string, fn func() error) error {
+	ev0, sims0 := eventTally.Load(), simTally.Load()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	p := ExperimentPerf{
+		Name:   name,
+		WallNS: wall.Nanoseconds(),
+		Sims:   simTally.Load() - sims0,
+		Allocs: int64(ms1.Mallocs - ms0.Mallocs),
+		Events: eventTally.Load() - ev0,
+	}
+	if p.Sims > 0 {
+		p.NsPerSim = p.WallNS / p.Sims
+	}
+	if wall > 0 {
+		p.EventsPerSec = float64(p.Events) / wall.Seconds()
+	}
+	t.Perf.Experiments = append(t.Perf.Experiments, p)
+	return err
+}
+
+// RunAll executes the configured experiments in canonical order and returns
+// the full trajectory. Each experiment internally fans its independent
+// simulations across Workers goroutines.
+func RunAll(cfg Config) (*Trajectory, error) {
+	want, err := cfg.enabled()
+	if err != nil {
+		return nil, err
+	}
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = Figure3Sizes
+	}
+	t := &Trajectory{Config: cfg}
+	t.Perf.Workers = Workers
+	t.Perf.GoMaxProcs = runtime.GOMAXPROCS(0)
+	allStart := time.Now()
+
+	if want["connsetup"] {
+		if err := t.measure("connsetup", func() error {
+			for _, mode := range []Mode{Standard, Failover} {
+				r, err := ConnectionSetup(mode, cfg.Conns)
+				if err != nil {
+					return fmt.Errorf("connsetup %s: %w", mode, err)
+				}
+				t.Results.ConnSetup = append(t.Results.ConnSetup, r)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig3"] {
+		if err := t.measure("fig3", func() error {
+			var err error
+			if t.Results.Fig3Std, err = ClientToServerSend(Standard, sizes, cfg.Reps); err != nil {
+				return fmt.Errorf("fig3 standard: %w", err)
+			}
+			if t.Results.Fig3Fo, err = ClientToServerSend(Failover, sizes, cfg.Reps); err != nil {
+				return fmt.Errorf("fig3 failover: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig4"] {
+		if err := t.measure("fig4", func() error {
+			var err error
+			if t.Results.Fig4Std, err = ServerToClientTransfer(Standard, sizes, cfg.Reps); err != nil {
+				return fmt.Errorf("fig4 standard: %w", err)
+			}
+			if t.Results.Fig4Fo, err = ServerToClientTransfer(Failover, sizes, cfg.Reps); err != nil {
+				return fmt.Errorf("fig4 failover: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig5"] {
+		if err := t.measure("fig5", func() error {
+			std, err := StreamRates(Standard, cfg.Stream)
+			if err != nil {
+				return fmt.Errorf("fig5 standard: %w", err)
+			}
+			fo, err := StreamRates(Failover, cfg.Stream)
+			if err != nil {
+				return fmt.Errorf("fig5 failover: %w", err)
+			}
+			t.Results.Fig5 = []RateResult{std, fo}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig6"] {
+		if err := t.measure("fig6", func() error {
+			var err error
+			if t.Results.Fig6Std, err = FTPRates(Standard, cfg.Reps); err != nil {
+				return fmt.Errorf("fig6 standard: %w", err)
+			}
+			if t.Results.Fig6Fo, err = FTPRates(Failover, cfg.Reps); err != nil {
+				return fmt.Errorf("fig6 failover: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["ablate"] {
+		if err := t.measure("ablate", func() error {
+			var err error
+			t.Results.Ablation, err = Ablation(cfg.Stream / 4)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["failover"] {
+		if err := t.measure("failover", func() error {
+			r, err := FailoverLatency(cfg.Runs)
+			if err != nil {
+				return err
+			}
+			t.Results.Failover = &r
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	t.Perf.WallNS = time.Since(allStart).Nanoseconds()
+	return t, nil
+}

@@ -11,9 +11,28 @@ import "tcpfailover/internal/tcp"
 // already-held bytes on overlap (the replicas produce identical streams, so
 // the choice is immaterial unless divergence detection trips).
 type byteQueue struct {
-	floor  tcp.Seq // lowest sequence number of interest (= bridge sndMax)
-	blocks []qblock
-	bytes  int
+	floor   tcp.Seq // lowest sequence number of interest (= bridge sndMax)
+	blocks  []qblock
+	bytes   int
+	scratch []byte   // reusable coalescing buffer for Contiguous
+	spare   []byte   // retired block storage, reused by Insert
+	rebuild []qblock // reusable target for out-of-order list rebuilds
+}
+
+// newBlockData copies payload into owned storage, reusing the spare block
+// array when it fits. In the steady state — insert, match, drain — the same
+// array cycles between the spare slot and the single live block, so the
+// per-segment allocation disappears.
+func (q *byteQueue) newBlockData(payload []byte) []byte {
+	if cap(q.spare) >= len(payload) {
+		data := q.spare[:len(payload)]
+		q.spare = nil
+		copy(data, payload)
+		return data
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	return data
 }
 
 type qblock struct {
@@ -42,14 +61,28 @@ func (q *byteQueue) Insert(seq tcp.Seq, payload []byte) {
 		payload = payload[skip:]
 		seq = q.floor
 	}
-	data := make([]byte, len(payload))
-	copy(data, payload)
-	nb := qblock{seq: seq, data: data}
+	// Fast path: in-order arrival at the tail, the common case while the
+	// replicas stay in step. Extends the last block (or appends a new one
+	// past a gap) without rebuilding the block list.
+	if n := len(q.blocks); n == 0 || q.blocks[n-1].end().Leq(seq) {
+		if n > 0 && q.blocks[n-1].end() == seq {
+			q.blocks[n-1].data = append(q.blocks[n-1].data, payload...)
+		} else {
+			q.blocks = append(q.blocks, qblock{seq: seq, data: q.newBlockData(payload)})
+		}
+		q.bytes += len(payload)
+		return
+	}
 
-	// A fresh slice: splitting the new block around an existing one appends
-	// two elements per element read, which would corrupt an aliased
-	// in-place rebuild.
-	out := make([]qblock, 0, len(q.blocks)+2)
+	nb := qblock{seq: seq, data: q.newBlockData(payload)}
+
+	// A separate slice: splitting the new block around an existing one
+	// appends two elements per element read, which would corrupt an aliased
+	// in-place rebuild. The old array becomes the next rebuild target.
+	if cap(q.rebuild) < len(q.blocks)+2 {
+		q.rebuild = make([]qblock, 0, 2*len(q.blocks)+2)
+	}
+	out := q.rebuild[:0]
 	inserted := false
 	for _, blk := range q.blocks {
 		switch {
@@ -81,11 +114,13 @@ func (q *byteQueue) Insert(seq tcp.Seq, payload []byte) {
 		out = append(out, nb)
 		q.bytes += len(nb.data)
 	}
+	q.rebuild = q.blocks[:0]
 	q.blocks = out
 }
 
 // Contiguous returns the bytes available starting exactly at the floor
-// (without consuming). The returned slice aliases internal storage.
+// (without consuming). The returned slice aliases internal storage and is
+// valid only until the next Insert, Advance, or Contiguous call.
 func (q *byteQueue) Contiguous() []byte {
 	if len(q.blocks) == 0 || q.blocks[0].seq != q.floor {
 		return nil
@@ -95,25 +130,29 @@ func (q *byteQueue) Contiguous() []byte {
 	if len(q.blocks) == 1 || q.blocks[1].seq != b.end() {
 		return b.data
 	}
-	var out []byte
+	q.scratch = q.scratch[:0]
 	next := q.floor
 	for _, blk := range q.blocks {
 		if blk.seq != next {
 			break
 		}
-		out = append(out, blk.data...)
+		q.scratch = append(q.scratch, blk.data...)
 		next = blk.end()
 	}
-	return out
+	return q.scratch
 }
 
 // Advance raises the floor by n bytes, discarding everything below it.
 func (q *byteQueue) Advance(n int) {
 	q.floor = q.floor.Add(n)
+	var spare []byte
 	out := q.blocks[:0]
 	for _, blk := range q.blocks {
 		if blk.end().Leq(q.floor) {
 			q.bytes -= len(blk.data)
+			if cap(blk.data) > cap(spare) {
+				spare = blk.data[:0]
+			}
 			continue
 		}
 		if blk.seq.Less(q.floor) {
@@ -124,6 +163,12 @@ func (q *byteQueue) Advance(n int) {
 		out = append(out, blk)
 	}
 	q.blocks = out
+	// Retire storage for reuse only once the queue is empty: blocks split
+	// around an overlap can share one backing array, so a discarded block's
+	// bytes may still be live while any block survives.
+	if len(out) == 0 && cap(spare) > cap(q.spare) {
+		q.spare = spare
+	}
 }
 
 // Floor returns the current floor sequence number.

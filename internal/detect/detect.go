@@ -46,8 +46,8 @@ type Detector struct {
 	stopped   bool
 	fired     bool
 
-	sendTimer  *sim.Event
-	checkTimer *sim.Event
+	sendTimer  sim.Timer
+	checkTimer sim.Timer
 }
 
 // New creates a detector on host watching peerAddr. onFailure runs once,
@@ -82,12 +82,8 @@ func (d *Detector) Start() {
 // Stop halts the detector.
 func (d *Detector) Stop() {
 	d.stopped = true
-	if d.sendTimer != nil {
-		d.sendTimer.Stop()
-	}
-	if d.checkTimer != nil {
-		d.checkTimer.Stop()
-	}
+	d.sendTimer.Stop()
+	d.checkTimer.Stop()
 }
 
 // Fired reports whether failure has been declared.

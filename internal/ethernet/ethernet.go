@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
 )
 
@@ -45,11 +46,28 @@ const (
 
 // Frame is an Ethernet frame. Payload aliasing follows the usual simulation
 // convention: senders must not modify the payload after Send.
+//
+// Buf, when non-nil, is the pooled buffer backing Payload. Ownership
+// transfers with the frame: Send takes it unconditionally (releasing it on
+// every error and loss path), and a receive handler owns the Buf of each
+// frame delivered to it — it must Release the buffer (or hand it on) once
+// done, and may patch Payload in place, since every station receives its
+// own copy of the bits. Frames built with a bare Payload and nil Buf are
+// copied into a pooled buffer by Send.
 type Frame struct {
 	Dst     MAC
 	Src     MAC
 	Type    EtherType
 	Payload []byte
+	Buf     *netbuf.Buffer
+}
+
+// release drops the frame's pooled buffer, if any.
+func (f *Frame) release() {
+	if f.Buf != nil {
+		f.Buf.Release()
+		f.Buf = nil
+	}
 }
 
 // Wire-format constants (bytes).
@@ -127,6 +145,11 @@ type Segment struct {
 	busyUntil time.Duration
 	stats     Stats
 
+	// Free list of delivery events and a reusable receiver list: the
+	// per-frame hot path schedules delivery without allocating.
+	deliverFree []*deliverEvent
+	recvScratch []*NIC
+
 	// dropTx, when set, discards matching frames at transmission (before
 	// any station receives them); dropRx discards matching frames at one
 	// receiving NIC. Test hooks for the paper's section 4 loss cases.
@@ -196,20 +219,55 @@ func (s *Segment) transmit(src *NIC, f Frame) {
 
 	if s.cfg.LossRate > 0 && s.sched.Rand().Float64() < s.cfg.LossRate {
 		s.stats.Lost++
+		f.release()
 		return
 	}
 	if s.dropTx != nil && s.dropTx(f) {
 		s.stats.Lost++
+		f.release()
 		return
 	}
 	delivery := s.busyUntil + s.cfg.Propagation
 	if s.cfg.Jitter > 0 {
 		delivery += time.Duration(s.sched.Rand().Int63n(int64(s.cfg.Jitter)))
 	}
-	s.sched.At(delivery, "ether.deliver", func() { s.deliver(src, f) })
+	ev := s.getDeliverEvent()
+	ev.src, ev.f = src, f
+	s.sched.AtArg(delivery, "ether.deliver", runDeliver, ev)
+}
+
+// deliverEvent carries one in-flight frame from transmit to deliver through
+// the scheduler without a per-frame closure allocation.
+type deliverEvent struct {
+	seg *Segment
+	src *NIC
+	f   Frame
+}
+
+func (s *Segment) getDeliverEvent() *deliverEvent {
+	if n := len(s.deliverFree); n > 0 {
+		ev := s.deliverFree[n-1]
+		s.deliverFree = s.deliverFree[:n-1]
+		return ev
+	}
+	return &deliverEvent{seg: s}
+}
+
+func runDeliver(v any) {
+	ev := v.(*deliverEvent)
+	s, src, f := ev.seg, ev.src, ev.f
+	ev.src, ev.f = nil, Frame{}
+	s.deliverFree = append(s.deliverFree, ev)
+	s.deliver(src, f)
 }
 
 func (s *Segment) deliver(src *NIC, f Frame) {
+	// First pass: decide who receives the frame (loss injectors fire once
+	// per station). Second pass: every station receives its own copy of the
+	// bits, exactly as on a physical medium, so receivers (e.g. the
+	// failover bridges) may patch their copy in place. The last receiver is
+	// handed the original buffer; the rest get pooled clones.
+	recv := s.recvScratch[:0]
 	for _, nic := range s.nics {
 		if nic == src || !nic.up || nic.handler == nil {
 			continue
@@ -219,15 +277,32 @@ func (s *Segment) deliver(src *NIC, f Frame) {
 				s.stats.Lost++
 				continue
 			}
-			// Each station receives its own copy of the bits, exactly as on
-			// a physical medium; receivers (e.g. the failover bridges) may
-			// patch their copy in place.
-			cp := f
-			cp.Payload = make([]byte, len(f.Payload))
-			copy(cp.Payload, f.Payload)
-			nic.handler(cp)
+			recv = append(recv, nic)
 		}
 	}
+	s.recvScratch = recv[:0]
+	if len(recv) == 0 {
+		f.release()
+		return
+	}
+	for _, nic := range recv[:len(recv)-1] {
+		cp := f
+		if f.Buf != nil {
+			cp.Buf = f.Buf.Clone()
+			cp.Payload = cp.Buf.Bytes()
+		} else {
+			cp.Payload = make([]byte, len(f.Payload))
+			copy(cp.Payload, f.Payload)
+		}
+		nic.handler(cp)
+	}
+	nic := recv[len(recv)-1]
+	if f.Buf == nil {
+		cp := make([]byte, len(f.Payload))
+		copy(cp, f.Payload)
+		f.Payload = cp
+	}
+	nic.handler(f)
 }
 
 // NIC is a network interface attached to a segment.
@@ -270,16 +345,27 @@ func (n *NIC) SetHandler(h func(Frame)) {
 }
 
 // Send transmits a frame. The frame's Src is overwritten with the NIC's
-// address.
+// address. Ownership of f.Buf (if any) transfers to Send unconditionally:
+// it is released on every error and drop path, so callers must not touch
+// the frame after Send returns.
 func (n *NIC) Send(f Frame) error {
 	if n.seg == nil {
+		f.release()
 		return ErrNotAttached
 	}
 	if len(f.Payload) > maxPayload {
+		f.release()
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.Payload))
 	}
 	if !n.up {
+		f.release()
 		return nil // silently dropped, like a cable pull
+	}
+	if f.Buf == nil {
+		// Defensive copy into a pooled buffer: the sender keeps its slice,
+		// and delivery can hand the buffer itself to the final receiver.
+		f.Buf = netbuf.From(f.Payload)
+		f.Payload = f.Buf.Bytes()
 	}
 	f.Src = n.mac
 	n.txFrames++

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"tcpfailover/internal/checksum"
+	"tcpfailover/internal/netbuf"
 )
 
 // Addr is an IPv4 address.
@@ -131,6 +132,33 @@ func Marshal(h Header, payload []byte) []byte {
 	b[11] = byte(sum)
 	copy(b[HeaderLen:], payload)
 	return b
+}
+
+// The hot path prepends headers into netbuf headroom; this must fit.
+const _ uint = netbuf.Headroom - HeaderLen
+
+// PrependHeader writes the header in place into pkt's headroom, in front of
+// the data already in the buffer (the IP payload), computing TotalLen and
+// the header checksum. It is the zero-copy counterpart of Marshal.
+func PrependHeader(pkt *netbuf.Buffer, h Header) {
+	h.TotalLen = HeaderLen + pkt.Len()
+	b := pkt.Prepend(HeaderLen)
+	// The store is pooled, so every byte must be written explicitly.
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0    // TOS
+	b[2] = byte(h.TotalLen >> 8)
+	b[3] = byte(h.TotalLen)
+	b[4] = byte(h.ID >> 8)
+	b[5] = byte(h.ID)
+	b[6], b[7] = 0, 0 // flags / fragment offset
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	putAddr(b[12:16], h.Src)
+	putAddr(b[16:20], h.Dst)
+	sum := checksum.Sum(b[:HeaderLen])
+	b[10] = byte(sum >> 8)
+	b[11] = byte(sum)
 }
 
 // Unmarshal parses a datagram, verifying version and header checksum. The

@@ -13,6 +13,7 @@ import (
 	"tcpfailover/internal/arp"
 	"tcpfailover/internal/ethernet"
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
 	"tcpfailover/internal/tcp"
 )
@@ -155,6 +156,10 @@ type Host struct {
 	// The host CPU is a single serial resource (the paper's servers are
 	// uniprocessors): receive and transmit processing contend for it.
 	cpuBusyUntil time.Duration
+
+	// Free list of packet events: every scheduled stack crossing (ingress,
+	// egress, forward) reuses these instead of allocating a closure.
+	pktFree []*pktEvent
 
 	// PacketTap, when set, observes every datagram the host receives
 	// (post-ingress-delay) and sends; used by the trace facility.
@@ -308,26 +313,72 @@ func (h *Host) Restart() {
 
 // --- receive path -----------------------------------------------------------
 
+// pktEvent carries one datagram across a scheduled stack crossing (ingress,
+// egress, forward) without a per-packet closure allocation. Events live on
+// the host's free list; buf is the pooled buffer backing payload, if any.
+type pktEvent struct {
+	h       *Host
+	ifc     *Iface
+	hdr     ipv4.Header
+	payload []byte
+	buf     *netbuf.Buffer
+}
+
+func (h *Host) getPktEvent() *pktEvent {
+	if n := len(h.pktFree); n > 0 {
+		e := h.pktFree[n-1]
+		h.pktFree = h.pktFree[:n-1]
+		return e
+	}
+	return &pktEvent{h: h}
+}
+
+func (h *Host) putPktEvent(e *pktEvent) {
+	e.ifc, e.hdr, e.payload, e.buf = nil, ipv4.Header{}, nil, nil
+	h.pktFree = append(h.pktFree, e)
+}
+
+func releaseBuf(b *netbuf.Buffer) {
+	if b != nil {
+		b.Release()
+	}
+}
+
 func (h *Host) frameIn(ifc *Iface, f ethernet.Frame) {
 	if !h.alive {
+		f.Buf.Release() // handler owns the delivered frame's buffer
 		return
 	}
 	switch f.Type {
 	case ethernet.TypeARP:
-		ifc.arp.HandleFrame(f)
+		ifc.arp.HandleFrame(f) // releases the buffer after parsing
 	case ethernet.TypeIPv4:
 		hdr, payload, err := ipv4.Unmarshal(f.Payload)
 		if err != nil {
+			f.Buf.Release()
 			return
 		}
-		h.sched.At(h.chargeIngress(len(payload)), "ip.input", func() {
-			h.ipInput(ifc, hdr, payload)
-		})
+		e := h.getPktEvent()
+		e.ifc, e.hdr, e.payload, e.buf = ifc, hdr, payload, f.Buf
+		h.sched.AtArg(h.chargeIngress(len(payload)), "ip.input", runIPInput, e)
+	default:
+		f.Buf.Release()
 	}
 }
 
-func (h *Host) ipInput(ifc *Iface, hdr ipv4.Header, payload []byte) {
+func runIPInput(v any) {
+	e := v.(*pktEvent)
+	h, ifc, hdr, payload, buf := e.h, e.ifc, e.hdr, e.payload, e.buf
+	h.putPktEvent(e)
+	h.ipInput(ifc, hdr, payload, buf)
+}
+
+// ipInput owns buf, the pooled buffer backing payload (nil when the caller
+// retains ownership); every path either releases it or hands it on. Protocol
+// input below this point copies whatever it keeps.
+func (h *Host) ipInput(ifc *Iface, hdr ipv4.Header, payload []byte, buf *netbuf.Buffer) {
 	if !h.alive {
+		releaseBuf(buf)
 		return
 	}
 	if h.PacketTap != nil {
@@ -337,19 +388,24 @@ func (h *Host) ipInput(ifc *Iface, hdr ipv4.Header, payload []byte) {
 		verdict, nh, np := h.inHook(ifc.index, hdr, payload)
 		switch verdict {
 		case VerdictDrop:
+			releaseBuf(buf)
 			return
 		case VerdictDeliver:
 			h.deliverLocal(nh, np)
+			releaseBuf(buf)
 			return
 		}
 	}
 	if h.Owns(hdr.Dst) {
 		h.deliverLocal(hdr, payload)
+		releaseBuf(buf)
 		return
 	}
 	if h.forwarding {
-		h.forward(hdr, payload)
+		h.forward(hdr, payload, buf)
+		return
 	}
+	releaseBuf(buf)
 }
 
 func (h *Host) deliverLocal(hdr ipv4.Header, payload []byte) {
@@ -365,14 +421,26 @@ func (h *Host) deliverLocal(hdr ipv4.Header, payload []byte) {
 	}
 }
 
-func (h *Host) forward(hdr ipv4.Header, payload []byte) {
+// forward queues a datagram for router transmission. It takes ownership of
+// buf; when the buffer holds exactly the received datagram, the IP header is
+// trimmed off in place (reclaiming it as headroom for the rewritten header)
+// and the payload is forwarded without a copy.
+func (h *Host) forward(hdr ipv4.Header, payload []byte, buf *netbuf.Buffer) {
 	if hdr.TTL <= 1 {
+		releaseBuf(buf)
 		return
 	}
 	hdr.TTL--
-	h.sched.At(h.chargeEgress(h.profile.ForwardDelay, 0), "ip.forward", func() {
-		h.transmit(hdr, payload)
-	})
+	e := h.getPktEvent()
+	e.hdr = hdr
+	if buf != nil && buf.Len() == ipv4.HeaderLen+len(payload) {
+		buf.TrimFront(ipv4.HeaderLen)
+		e.buf = buf
+	} else {
+		e.buf = netbuf.From(payload)
+		releaseBuf(buf)
+	}
+	h.sched.AtArg(h.chargeEgress(h.profile.ForwardDelay, 0), "ip.forward", runTransmit, e)
 }
 
 // chargeIngress reserves the ingress path for one packet and returns the
@@ -406,54 +474,70 @@ func (h *Host) jitter() time.Duration {
 // --- send path ----------------------------------------------------------------
 
 // tcpOutput is the TCP stack's Output: the bridge hook interposes here,
-// exactly between the TCP layer and the IP layer.
-func (h *Host) tcpOutput(src, dst ipv4.Addr, segment []byte) error {
+// exactly between the TCP layer and the IP layer. It owns pkt.
+func (h *Host) tcpOutput(src, dst ipv4.Addr, pkt *netbuf.Buffer) error {
 	if !h.alive {
+		pkt.Release()
 		return ErrHostDown
 	}
-	if h.outHook != nil && h.outHook(src, dst, segment) {
+	if h.outHook != nil && h.outHook(src, dst, pkt.Bytes()) {
+		pkt.Release()
 		return nil
 	}
-	return h.SendIP(src, dst, ipv4.ProtoTCP, segment)
+	return h.sendPacket(src, dst, ipv4.ProtoTCP, pkt, h.profile.StackEgress, "ip.output")
 }
 
 // SendIP emits a locally originated datagram, charging the stack-egress
-// processing cost.
+// processing cost. The payload is copied; the caller keeps its slice.
 func (h *Host) SendIP(src, dst ipv4.Addr, proto uint8, payload []byte) error {
 	if !h.alive {
 		return ErrHostDown
 	}
-	hdr := ipv4.Header{ID: h.ipID, TTL: ipv4.DefaultTTL, Protocol: proto, Src: src, Dst: dst}
-	h.ipID++
-	h.sched.At(h.chargeEgress(h.profile.StackEgress, len(payload)), "ip.output", func() {
-		h.transmit(hdr, payload)
-	})
-	return nil
+	return h.sendPacket(src, dst, proto, netbuf.From(payload), h.profile.StackEgress, "ip.output")
 }
 
 // SendIPFast emits a datagram with only the bridge processing cost; the
-// bridges use it for segments that never traverse the full local stack.
+// bridges use it for segments that never traverse the full local stack. The
+// payload is copied; the caller keeps its slice.
 func (h *Host) SendIPFast(src, dst ipv4.Addr, proto uint8, payload []byte) error {
 	if !h.alive {
 		return ErrHostDown
 	}
+	return h.sendPacket(src, dst, proto, netbuf.From(payload), h.profile.BridgeDelay, "bridge.output")
+}
+
+// sendPacket queues a locally originated datagram for transmission, taking
+// ownership of pkt (the IP payload; headers are prepended in transmit).
+func (h *Host) sendPacket(src, dst ipv4.Addr, proto uint8, pkt *netbuf.Buffer, service time.Duration, what string) error {
 	hdr := ipv4.Header{ID: h.ipID, TTL: ipv4.DefaultTTL, Protocol: proto, Src: src, Dst: dst}
 	h.ipID++
-	h.sched.At(h.chargeEgress(h.profile.BridgeDelay, len(payload)), "bridge.output", func() {
-		h.transmit(hdr, payload)
-	})
+	e := h.getPktEvent()
+	e.hdr, e.buf = hdr, pkt
+	h.sched.AtArg(h.chargeEgress(service, pkt.Len()), what, runTransmit, e)
 	return nil
 }
 
-func (h *Host) transmit(hdr ipv4.Header, payload []byte) {
+func runTransmit(v any) {
+	e := v.(*pktEvent)
+	h, hdr, pkt := e.h, e.hdr, e.buf
+	h.putPktEvent(e)
+	h.transmit(hdr, pkt)
+}
+
+// transmit owns pkt, which holds the IP payload; the IPv4 header is
+// prepended into its headroom in place and the same buffer rides the frame
+// down to the Ethernet layer.
+func (h *Host) transmit(hdr ipv4.Header, pkt *netbuf.Buffer) {
 	if !h.alive {
+		pkt.Release()
 		return
 	}
 	if h.PacketTap != nil {
-		h.PacketTap("tx", hdr, payload)
+		h.PacketTap("tx", hdr, pkt.Bytes())
 	}
 	route, ok := h.routes.Lookup(hdr.Dst)
 	if !ok {
+		pkt.Release()
 		return
 	}
 	ifc := h.ifaces[route.IfIndex]
@@ -461,12 +545,18 @@ func (h *Host) transmit(hdr ipv4.Header, payload []byte) {
 	if !route.NextHop.IsZero() {
 		nextHop = route.NextHop
 	}
-	raw := ipv4.Marshal(hdr, payload)
+	ipv4.PrependHeader(pkt, hdr)
+	if mac, ok := ifc.arp.Lookup(nextHop); ok {
+		// Warm ARP cache: send without the resolver closure.
+		_ = ifc.nic.Send(ethernet.Frame{Dst: mac, Type: ethernet.TypeIPv4, Payload: pkt.Bytes(), Buf: pkt})
+		return
+	}
 	ifc.arp.Resolve(nextHop, func(mac ethernet.MAC, err error) {
 		if err != nil || !h.alive {
+			pkt.Release()
 			return
 		}
-		_ = ifc.nic.Send(ethernet.Frame{Dst: mac, Type: ethernet.TypeIPv4, Payload: raw})
+		_ = ifc.nic.Send(ethernet.Frame{Dst: mac, Type: ethernet.TypeIPv4, Payload: pkt.Bytes(), Buf: pkt})
 	})
 }
 

@@ -105,7 +105,10 @@ func TestTCPHandshakeAndEcho(t *testing.T) {
 		}
 	})
 
-	if err := n.sched.RunUntil(10 * time.Second); err != nil {
+	// The active closer lingers in TIME_WAIT for 60 s (2 MSL) before OnClose
+	// fires, so run past it. (Shorter horizons used to work only because the
+	// old scheduler could overshoot RunUntil past canceled events.)
+	if err := n.sched.RunUntil(90 * time.Second); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !established {

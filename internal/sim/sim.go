@@ -6,10 +6,19 @@
 // with a fixed RNG seed is fully reproducible. Virtual time has nanosecond
 // resolution, which lets the benchmark harness report microsecond-scale
 // latencies the way the paper's testbed measurements do.
+//
+// The scheduler is built for the hot path: the priority queue is a
+// hand-rolled indexed binary min-heap over []*event (no interface boxing,
+// sift-up/down specialized to the (when, seq) key), and fired or canceled
+// events are recycled through a free list instead of being garbage
+// collected. TCP timer churn — a retransmission timer re-armed per segment —
+// therefore allocates nothing in steady state. Callers hold Timer handles,
+// not events; a generation counter in each pooled event makes Stop on a
+// stale handle (whose event has been recycled for an unrelated purpose) a
+// safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,76 +35,73 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 // stream-transfer experiments, small enough to fail fast on livelock.
 const DefaultEventLimit = 200_000_000
 
-// Event is a scheduled callback. It is created by Scheduler.At/After and can
-// be cancelled with Stop.
-type Event struct {
-	when time.Duration
-	seq  uint64
-	name string
-	fn   func()
+// event is a pooled scheduled callback. Exactly one of fn and fnArg is set.
+type event struct {
+	when  time.Duration
+	seq   uint64
+	name  string
+	fn    func()
+	fnArg func(any)
+	arg   any
 
-	index   int // heap index, -1 when not queued
+	sched   *Scheduler
+	index   int    // heap index, -1 when not queued
+	gen     uint64 // bumped on recycle; validates Timer handles
 	stopped bool
 }
 
-// Stop cancels the event. It reports whether the event had been pending
-// (true) or had already fired or been stopped (false).
-func (e *Event) Stop() bool {
-	if e == nil || e.stopped || e.index < 0 {
+// Timer is a handle to a scheduled callback, returned by At/After. The zero
+// Timer is valid and behaves as an already-fired timer. Because events are
+// pooled, the handle carries the event's generation: Stop and Pending on a
+// handle whose event has fired and been recycled are safe no-ops even if the
+// event object now backs an unrelated timer.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
+
+// Stop cancels the timer. It reports whether the timer had been pending
+// (true) or had already fired, been stopped, or been recycled (false).
+// The event is unlinked from the heap and recycled immediately, so a timer
+// armed and canceled repeatedly — TCP's retransmission timer, re-armed per
+// segment — cycles one pooled event instead of stacking dead entries in
+// the queue until their deadlines.
+func (t Timer) Stop() bool {
+	e := t.ev
+	if e == nil || e.gen != t.gen || e.stopped || e.index < 0 {
 		return false
 	}
-	e.stopped = true
+	s := e.sched
+	s.pending--
+	s.removeAt(e.index)
+	s.release(e)
 	return true
 }
 
-// Pending reports whether the event is still scheduled to run.
-func (e *Event) Pending() bool { return e != nil && !e.stopped && e.index >= 0 }
+// Pending reports whether the timer is still scheduled to run.
+func (t Timer) Pending() bool {
+	e := t.ev
+	return e != nil && e.gen == t.gen && !e.stopped && e.index >= 0
+}
 
-// When returns the virtual time at which the event fires.
-func (e *Event) When() time.Duration { return e.when }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When returns the virtual time at which the timer fires, or 0 if it is no
+// longer scheduled.
+func (t Timer) When() time.Duration {
+	if !t.Pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return t.ev.when
 }
 
 // Scheduler is a single-threaded discrete-event executor with a virtual
 // clock. It is not safe for concurrent use; all simulated components run
-// inside its event loop.
+// inside its event loop. Independent Schedulers are safe to run on separate
+// goroutines (the parallel benchmark harness does).
 type Scheduler struct {
 	now      time.Duration
-	queue    eventHeap
+	queue    []*event // indexed binary min-heap on (when, seq)
+	free     []*event // recycled events
+	pending  int      // queued events not yet stopped
 	seq      uint64
 	rng      *rand.Rand
 	limit    int
@@ -125,45 +131,199 @@ func (s *Scheduler) SetEventLimit(n int) { s.limit = n }
 // Executed returns the total number of events executed so far.
 func (s *Scheduler) Executed() int { return s.executed }
 
+// acquire takes an event from the free list or allocates one.
+func (s *Scheduler) acquire() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{sched: s, index: -1}
+}
+
+// release recycles an event. Bumping the generation invalidates every Timer
+// handle that still points at it, so a later Stop through a stale handle
+// cannot corrupt the event's next incarnation.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	ev.name = ""
+	ev.stopped = false
+	ev.index = -1
+	s.free = append(s.free, ev)
+}
+
+// schedule inserts a prepared event and returns its handle.
+func (s *Scheduler) schedule(ev *event) Timer {
+	ev.seq = s.seq
+	s.seq++
+	s.pending++
+	s.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is clamped to the current time (the event runs after all events already
 // queued for the current instant). The name is used in diagnostics only.
-func (s *Scheduler) At(t time.Duration, name string, fn func()) *Event {
+func (s *Scheduler) At(t time.Duration, name string, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{when: t, seq: s.seq, name: name, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	ev := s.acquire()
+	ev.when = t
+	ev.name = name
+	ev.fn = fn
+	return s.schedule(ev)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, name string, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, name, fn)
 }
 
+// AtArg schedules fn(arg) at absolute virtual time t. Passing a top-level
+// function plus its argument instead of a closure lets hot paths (packet
+// hops, TCP timers) schedule without allocating a closure per event.
+func (s *Scheduler) AtArg(t time.Duration, name string, fn func(any), arg any) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := s.acquire()
+	ev.when = t
+	ev.name = name
+	ev.fnArg = fn
+	ev.arg = arg
+	return s.schedule(ev)
+}
+
+// AfterArg schedules fn(arg) to run d after the current virtual time.
+func (s *Scheduler) AfterArg(d time.Duration, name string, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArg(s.now+d, name, fn, arg)
+}
+
 // Halt stops the current Run/RunUntil call after the in-flight event
 // completes. Pending events remain queued.
 func (s *Scheduler) Halt() { s.halted = true }
 
-// Step executes the next pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
-func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
-			continue
+// --- heap ---------------------------------------------------------------
+
+// less orders events by (when, seq): virtual time with FIFO tie-break.
+func less(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(ev *event) {
+	q := append(s.queue, ev)
+	i := len(q) - 1
+	ev.index = i
+	// Sift up.
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, q[parent]) {
+			break
 		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+	s.queue = q
+}
+
+// popMin removes and returns the earliest event.
+func (s *Scheduler) popMin() *event {
+	top := s.queue[0]
+	s.removeAt(0)
+	return top
+}
+
+// removeAt unlinks the event at heap index i, moving the last element into
+// its place and restoring the heap invariant. Removal order does not affect
+// execution order — (when, seq) keys are unique, so the pop sequence is a
+// total order regardless of the heap's internal arrangement.
+func (s *Scheduler) removeAt(i int) {
+	q := s.queue
+	n := len(q) - 1
+	q[i].index = -1
+	last := q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if i == n {
+		return
+	}
+	q = s.queue
+	// Re-seat last at i: sift down, and if it never moved, sift up (it may
+	// be smaller than the removed event's ancestors).
+	j := i
+	for {
+		l, r := 2*j+1, 2*j+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && less(q[r], q[l]) {
+			child = r
+		}
+		if !less(q[child], last) {
+			break
+		}
+		q[j] = q[child]
+		q[j].index = j
+		j = child
+	}
+	if j == i {
+		for j > 0 {
+			parent := (j - 1) / 2
+			if !less(last, q[parent]) {
+				break
+			}
+			q[j] = q[parent]
+			q[j].index = j
+			j = parent
+		}
+	}
+	q[j] = last
+	last.index = j
+}
+
+// --- execution ----------------------------------------------------------
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed. Stopped events
+// encountered on the way are recycled without firing.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := s.popMin()
 		if ev.stopped {
+			s.release(ev)
 			continue
 		}
 		s.now = ev.when
 		s.executed++
-		ev.fn()
+		s.pending--
+		// Copy the callback out and recycle before invoking: the callback
+		// may schedule new work, which can immediately reuse this event
+		// (under a fresh generation).
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		s.release(ev)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -191,7 +351,7 @@ func (s *Scheduler) RunUntil(t time.Duration) error {
 	s.halted = false
 	start := s.executed
 	for !s.halted {
-		if s.queue.Len() == 0 || s.queue[0].when > t {
+		if len(s.queue) == 0 || s.queue[0].when > t {
 			if s.now < t {
 				s.now = t
 			}
@@ -209,13 +369,6 @@ func (s *Scheduler) RunUntil(t time.Duration) error {
 // instant.
 func (s *Scheduler) RunFor(d time.Duration) error { return s.RunUntil(s.now + d) }
 
-// PendingEvents returns the number of queued (not yet stopped) events.
-func (s *Scheduler) PendingEvents() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
-}
+// PendingEvents returns the number of queued (not yet stopped) events. The
+// count is maintained incrementally; this is O(1).
+func (s *Scheduler) PendingEvents() int { return s.pending }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
 )
 
@@ -63,10 +64,10 @@ type Conn struct {
 	timedAt  time.Duration
 
 	// Timers.
-	rexmtTimer    *sim.Event
-	delackTimer   *sim.Event
-	timeWaitTimer *sim.Event
-	persistTimer  *sim.Event
+	rexmtTimer    sim.Timer
+	delackTimer   sim.Timer
+	timeWaitTimer sim.Timer
+	persistTimer  sim.Timer
 	rtxCount      int
 	persistCount  int
 
@@ -221,12 +222,29 @@ func (c *Conn) Abort() {
 
 // --- segment transmission ---------------------------------------------------
 
+// emit marshals a control segment (whose Payload, if any, is copied) into a
+// pooled buffer and hands ownership to the stack output.
 func (c *Conn) emit(seg *Segment) {
 	seg.SrcPort = c.tuple.LocalPort
 	seg.DstPort = c.tuple.RemotePort
-	b := Marshal(c.tuple.LocalAddr, c.tuple.RemoteAddr, seg)
+	pkt := netbuf.Get()
+	copy(MarshalReserve(pkt, seg, len(seg.Payload)), seg.Payload)
+	SealChecksum(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt.Bytes())
 	c.stack.stats.SegmentsOut++
-	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, b)
+	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt)
+}
+
+// emitData marshals seg plus n bytes of send-buffer data starting at ring
+// offset off. The payload is peeked directly into the pooled packet buffer:
+// the steady-state send path writes each byte once and allocates nothing.
+func (c *Conn) emitData(seg *Segment, off, n int) {
+	seg.SrcPort = c.tuple.LocalPort
+	seg.DstPort = c.tuple.RemotePort
+	pkt := netbuf.Get()
+	c.sndBuf.Peek(off, MarshalReserve(pkt, seg, n))
+	SealChecksum(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt.Bytes())
+	c.stack.stats.SegmentsOut++
+	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt)
 }
 
 // setSndWnd records a peer window advertisement, tracking the maximum for
@@ -326,11 +344,8 @@ func (c *Conn) trySend() int {
 			Flags:  FlagACK,
 			Window: c.advertisedWindow(),
 		}
+		off := c.sndNxt.Diff(c.sndDataStart)
 		if n > 0 {
-			payload := make([]byte, n)
-			off := c.sndNxt.Diff(c.sndDataStart)
-			c.sndBuf.Peek(off, payload)
-			seg.Payload = payload
 			// PSH marks the end of a burst: either the buffer drains, or
 			// Nagle is about to hold a sub-MSS remainder until this segment
 			// is acknowledged — the receiver should acknowledge promptly.
@@ -339,8 +354,10 @@ func (c *Conn) trySend() int {
 			}
 		}
 		c.sndNxt = c.sndNxt.Add(n)
+		segLen := n
 		if sendFin {
 			seg.Flags |= FlagFIN
+			segLen++
 			if !c.finSent {
 				c.finSent = true
 				c.finSeq = c.sndNxt
@@ -348,15 +365,15 @@ func (c *Conn) trySend() int {
 			c.sndNxt = c.finSeq.Add(1)
 		}
 		c.sndMaxSeq = MaxSeq(c.sndMaxSeq, c.sndNxt)
-		c.emit(seg)
+		c.emitData(seg, off, n)
 		sent++
 		c.clearAckPending()
-		if !c.timing && seg.Len() > 0 {
+		if !c.timing && segLen > 0 {
 			c.timing = true
 			c.timedSeq = c.sndNxt
 			c.timedAt = c.stack.sched.Now()
 		}
-		if seg.Len() > 0 {
+		if segLen > 0 {
 			c.armRexmt()
 		}
 	}
@@ -378,10 +395,8 @@ func (c *Conn) sendAck() {
 func (c *Conn) clearAckPending() {
 	c.ackPendingSegs = 0
 	c.ackNowFlag = false
-	if c.delackTimer != nil {
-		c.delackTimer.Stop()
-		c.delackTimer = nil
-	}
+	c.delackTimer.Stop()
+	c.delackTimer = sim.Timer{}
 	c.lastWndSent = c.rcvBuf.Free()
 }
 
@@ -397,13 +412,8 @@ func (c *Conn) flushOutput() {
 		c.sendAck()
 		return
 	}
-	if c.ackPendingSegs > 0 && c.delackTimer == nil {
-		c.delackTimer = c.stack.sched.After(c.stack.cfg.DelayedAckTimeout, "tcp.delack", func() {
-			c.delackTimer = nil
-			if c.state != StateClosed {
-				c.sendAck()
-			}
-		})
+	if c.ackPendingSegs > 0 && !c.delackTimer.Pending() {
+		c.delackTimer = c.stack.sched.AfterArg(c.stack.cfg.DelayedAckTimeout, "tcp.delack", connDelack, c)
 	}
 }
 
@@ -422,23 +432,33 @@ func (c *Conn) maybeSendWindowUpdate() {
 
 // --- timers ------------------------------------------------------------------
 
-func (c *Conn) armRexmt() {
-	if c.rexmtTimer != nil {
-		c.rexmtTimer.Stop()
+// connRexmt and connDelack are scheduled via AfterArg with the connection as
+// the argument: a top-level function plus a pointer argument schedules
+// without allocating, unlike a closure or method value, which matters
+// because the retransmission timer is re-armed for every data segment sent.
+func connRexmt(v any) { v.(*Conn).onRexmtTimeout() }
+
+func connDelack(v any) {
+	c := v.(*Conn)
+	c.delackTimer = sim.Timer{}
+	if c.state != StateClosed {
+		c.sendAck()
 	}
-	c.rexmtTimer = c.stack.sched.After(c.rto.RTO(), "tcp.rexmt", c.onRexmtTimeout)
+}
+
+func (c *Conn) armRexmt() {
+	c.rexmtTimer.Stop()
+	c.rexmtTimer = c.stack.sched.AfterArg(c.rto.RTO(), "tcp.rexmt", connRexmt, c)
 }
 
 func (c *Conn) stopRexmt() {
-	if c.rexmtTimer != nil {
-		c.rexmtTimer.Stop()
-		c.rexmtTimer = nil
-	}
+	c.rexmtTimer.Stop()
+	c.rexmtTimer = sim.Timer{}
 	c.rtxCount = 0
 }
 
 func (c *Conn) onRexmtTimeout() {
-	c.rexmtTimer = nil
+	c.rexmtTimer = sim.Timer{}
 	if c.state == StateClosed || c.state == StateTimeWait {
 		return
 	}
@@ -488,7 +508,7 @@ func (c *Conn) onRexmtTimeout() {
 func (c *Conn) maybeArmPersist() {
 	dataEnd := c.sndDataStart.Add(c.sndBuf.Len())
 	unsent := dataEnd.Diff(c.sndNxt)
-	if unsent > 0 && c.sndNxt == c.sndUna && c.persistTimer == nil && c.rexmtTimer == nil {
+	if unsent > 0 && c.sndNxt == c.sndUna && !c.persistTimer.Pending() && !c.rexmtTimer.Pending() {
 		c.persistCount = 0
 		c.armPersist()
 	}
@@ -497,7 +517,7 @@ func (c *Conn) maybeArmPersist() {
 func (c *Conn) armPersist() {
 	d := c.rto.RTO() * time.Duration(1<<min(c.persistCount, 6))
 	c.persistTimer = c.stack.sched.After(d, "tcp.persist", func() {
-		c.persistTimer = nil
+		c.persistTimer = sim.Timer{}
 		if c.state == StateClosed {
 			return
 		}
@@ -515,18 +535,15 @@ func (c *Conn) armPersist() {
 		}
 		if off < c.sndBuf.Len() {
 			n := min(c.sndBuf.Len()-off, c.mss, max(c.sndWnd, 1))
-			p := make([]byte, n)
-			c.sndBuf.Peek(off, p)
 			seg := &Segment{
-				Seq:     c.sndUna,
-				Ack:     c.rcvNxt,
-				Flags:   FlagACK | FlagPSH,
-				Window:  c.advertisedWindow(),
-				Payload: p,
+				Seq:    c.sndUna,
+				Ack:    c.rcvNxt,
+				Flags:  FlagACK | FlagPSH,
+				Window: c.advertisedWindow(),
 			}
 			c.sndNxt = MaxSeq(c.sndNxt, c.sndUna.Add(n))
 			c.sndMaxSeq = MaxSeq(c.sndMaxSeq, c.sndNxt)
-			c.emit(seg)
+			c.emitData(seg, off, n)
 			c.armRexmt()
 			return
 		}
@@ -538,11 +555,9 @@ func (c *Conn) armPersist() {
 func (c *Conn) enterTimeWait() {
 	c.state = StateTimeWait
 	c.stopRexmt()
-	if c.timeWaitTimer != nil {
-		c.timeWaitTimer.Stop()
-	}
+	c.timeWaitTimer.Stop()
 	c.timeWaitTimer = c.stack.sched.After(c.stack.cfg.TimeWaitDuration, "tcp.timewait", func() {
-		c.timeWaitTimer = nil
+		c.timeWaitTimer = sim.Timer{}
 		c.destroy(nil)
 	})
 }
@@ -555,10 +570,8 @@ func (c *Conn) destroy(err error) {
 	c.closed = true
 	c.closeErr = err
 	c.state = StateClosed
-	for _, t := range []*sim.Event{c.rexmtTimer, c.delackTimer, c.timeWaitTimer, c.persistTimer} {
-		if t != nil {
-			t.Stop()
-		}
+	for _, t := range []sim.Timer{c.rexmtTimer, c.delackTimer, c.timeWaitTimer, c.persistTimer} {
+		t.Stop()
 	}
 	c.stack.removeConn(c)
 	if c.onClose != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
 )
 
@@ -33,21 +34,23 @@ func newPair(t *testing.T, cfg Config) *pair {
 		bAddr: ipv4.MustParseAddr("10.0.0.2"),
 		delay: 500 * time.Microsecond,
 	}
-	p.a = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, seg []byte) error {
+	p.a = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, pkt *netbuf.Buffer) error {
+		defer pkt.Release()
 		p.toBCount++
-		if p.dropToB != nil && p.dropToB(seg) {
+		if p.dropToB != nil && p.dropToB(pkt.Bytes()) {
 			return nil
 		}
-		cp := append([]byte(nil), seg...)
+		cp := append([]byte(nil), pkt.Bytes()...)
 		p.sched.After(p.delay, "pipe.ab", func() { p.b.Input(src, dst, cp) })
 		return nil
 	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.aAddr, true })
-	p.b = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, seg []byte) error {
+	p.b = NewStack(p.sched, cfg, func(src, dst ipv4.Addr, pkt *netbuf.Buffer) error {
+		defer pkt.Release()
 		p.toACount++
-		if p.dropToA != nil && p.dropToA(seg) {
+		if p.dropToA != nil && p.dropToA(pkt.Bytes()) {
 			return nil
 		}
-		cp := append([]byte(nil), seg...)
+		cp := append([]byte(nil), pkt.Bytes()...)
 		p.sched.After(p.delay, "pipe.ba", func() { p.a.Input(src, dst, cp) })
 		return nil
 	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.bAddr, true })
@@ -101,8 +104,9 @@ func TestMSSNegotiationTakesMinimum(t *testing.T) {
 	p := newPair(t, Config{})
 	// Rebuild b with a smaller MSS.
 	small := Config{MSS: 536}
-	p.b = NewStack(p.sched, small, func(src, dst ipv4.Addr, seg []byte) error {
-		cp := append([]byte(nil), seg...)
+	p.b = NewStack(p.sched, small, func(src, dst ipv4.Addr, pkt *netbuf.Buffer) error {
+		defer pkt.Release()
+		cp := append([]byte(nil), pkt.Bytes()...)
 		p.sched.After(p.delay, "pipe.ba", func() { p.a.Input(src, dst, cp) })
 		return nil
 	}, func(ipv4.Addr) (ipv4.Addr, bool) { return p.bAddr, true })

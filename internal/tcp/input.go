@@ -2,6 +2,8 @@ package tcp
 
 // Segment arrival processing (RFC 793 section 3.9, "SEGMENT ARRIVES").
 
+import "tcpfailover/internal/sim"
+
 func (c *Conn) input(seg *Segment) {
 	switch c.state {
 	case StateClosed:
@@ -178,9 +180,9 @@ func (c *Conn) processAck(seg *Segment) bool {
 		c.setSndWnd(int(seg.Window))
 		c.sndWl1 = seg.Seq
 		c.sndWl2 = ack
-		if c.sndWnd > 0 && c.persistTimer != nil {
+		if c.sndWnd > 0 && c.persistTimer.Pending() {
 			c.persistTimer.Stop()
-			c.persistTimer = nil
+			c.persistTimer = sim.Timer{}
 		}
 		if c.sndWnd > oldWnd {
 			c.trySend()
@@ -284,17 +286,17 @@ func (c *Conn) retransmitOne() {
 		Window: c.advertisedWindow(),
 	}
 	if n > 0 {
-		p := make([]byte, n)
-		c.sndBuf.Peek(off, p)
-		seg.Payload = p
-	} else if c.finSent && c.finSeq == c.sndUna {
-		seg.Flags |= FlagFIN
-	} else {
+		c.timing = false // Karn
+		c.stack.stats.Retransmissions++
+		c.emitData(seg, off, n)
 		return
 	}
-	c.timing = false // Karn
-	c.stack.stats.Retransmissions++
-	c.emit(seg)
+	if c.finSent && c.finSeq == c.sndUna {
+		seg.Flags |= FlagFIN
+		c.timing = false // Karn
+		c.stack.stats.Retransmissions++
+		c.emit(seg)
+	}
 }
 
 func (c *Conn) sampleRTT(ack Seq) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
 )
 
@@ -127,7 +128,9 @@ func (c Config) withDefaults() Config {
 
 // Output transmits a marshaled TCP segment toward dst. The netstack
 // installs this; on the replicated servers the bridge interposes here.
-type Output func(src, dst ipv4.Addr, segment []byte) error
+// Ownership of pkt transfers to the callee unconditionally — even on
+// error — which must eventually Release it (or hand it on).
+type Output func(src, dst ipv4.Addr, pkt *netbuf.Buffer) error
 
 // Tuple identifies a connection by its four-tuple.
 type Tuple struct {
@@ -157,6 +160,10 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	conns     map[Tuple]*Conn
 	nextPort  uint16
+
+	// inSeg is the scratch segment Input parses into; handlers never retain
+	// the pointer, so reusing it keeps segment receive allocation-free.
+	inSeg Segment
 
 	stats Stats
 }
@@ -316,8 +323,11 @@ func (s *Stack) Rebind(t Tuple, newLocal ipv4.Addr) error {
 // verification and demultiplexing.
 func (s *Stack) Input(src, dst ipv4.Addr, b []byte) {
 	s.stats.SegmentsIn++
-	seg, err := Unmarshal(src, dst, b, true)
-	if err != nil {
+	// Parse into the stack's scratch segment: input handlers read fields and
+	// copy payload bytes but never retain the *Segment, so one struct serves
+	// every arriving segment without allocating.
+	seg := &s.inSeg
+	if err := UnmarshalInto(src, dst, b, true, seg); err != nil {
 		s.stats.BadChecksums++
 		return
 	}
@@ -364,9 +374,11 @@ func (s *Stack) sendRST(t Tuple, seg *Segment) {
 		rst.Flags |= FlagACK
 		rst.Ack = seg.Seq.Add(seg.Len())
 	}
-	b := Marshal(t.LocalAddr, t.RemoteAddr, rst)
+	pkt := netbuf.Get()
+	MarshalReserve(pkt, rst, 0)
+	SealChecksum(t.LocalAddr, t.RemoteAddr, pkt.Bytes())
 	s.stats.SegmentsOut++
-	_ = s.output(t.LocalAddr, t.RemoteAddr, b)
+	_ = s.output(t.LocalAddr, t.RemoteAddr, pkt)
 }
 
 func (s *Stack) removeConn(c *Conn) {

@@ -17,6 +17,7 @@ import (
 
 	"tcpfailover/internal/checksum"
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 )
 
 // Flags is the TCP control-flag set.
@@ -186,20 +187,78 @@ func Marshal(src, dst ipv4.Addr, s *Segment) []byte {
 	return b
 }
 
+// MarshalReserve writes the segment's header and options into pkt and
+// extends the buffer by payloadLen further bytes, returning that payload
+// region for the caller to fill directly (s.Payload is ignored). The
+// checksum field is left zero; call SealChecksum once the payload is
+// written. This is the zero-copy path: the send buffer's bytes are peeked
+// straight into the packet buffer, and every header byte is written
+// explicitly because the store is pooled.
+func MarshalReserve(pkt *netbuf.Buffer, s *Segment, payloadLen int) []byte {
+	optLen := optionsWireLen(s.Options)
+	hdrLen := HeaderLen + optLen
+	b := pkt.Extend(hdrLen + payloadLen)
+	putU16(b[0:], s.SrcPort)
+	putU16(b[2:], s.DstPort)
+	putU32(b[4:], uint32(s.Seq))
+	putU32(b[8:], uint32(s.Ack))
+	b[12] = byte(hdrLen/4) << 4
+	b[13] = byte(s.Flags)
+	putU16(b[14:], s.Window)
+	putU16(b[16:], 0) // checksum: see SealChecksum
+	putU16(b[18:], s.Urgent)
+	off := HeaderLen
+	for _, o := range s.Options {
+		if o.Kind == OptEnd || o.Kind == OptNOP {
+			b[off] = o.Kind
+			off++
+			continue
+		}
+		b[off] = o.Kind
+		b[off+1] = byte(2 + len(o.Data))
+		copy(b[off+2:], o.Data)
+		off += 2 + len(o.Data)
+	}
+	for off < hdrLen {
+		b[off] = OptNOP
+		off++
+	}
+	return b[hdrLen:]
+}
+
+// SealChecksum computes and stores the checksum of a marshaled segment
+// whose checksum field is currently zero.
+func SealChecksum(src, dst ipv4.Addr, b []byte) {
+	putU16(b[16:], ComputeChecksum(src, dst, b))
+}
+
 // Unmarshal parses a wire-format segment. If verify is true the checksum is
 // validated against the pseudo-header. The returned payload aliases b.
 func Unmarshal(src, dst ipv4.Addr, b []byte, verify bool) (*Segment, error) {
+	s := new(Segment)
+	if err := UnmarshalInto(src, dst, b, verify, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// UnmarshalInto parses a wire-format segment into s, overwriting every
+// field; the caller may reuse one Segment across calls (the stack's input
+// path does, keeping the per-segment receive cost off the heap). Option
+// data is still copied, but only option-bearing segments — SYNs — pay for
+// it. The payload aliases b.
+func UnmarshalInto(src, dst ipv4.Addr, b []byte, verify bool, s *Segment) error {
 	if len(b) < HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	hdrLen := int(b[12]>>4) * 4
 	if hdrLen < HeaderLen || hdrLen > len(b) {
-		return nil, ErrBadOffset
+		return ErrBadOffset
 	}
 	if verify && ComputeChecksum(src, dst, b) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	s := &Segment{
+	*s = Segment{
 		SrcPort: getU16(b[0:]),
 		DstPort: getU16(b[2:]),
 		Seq:     Seq(getU32(b[4:])),
@@ -208,6 +267,7 @@ func Unmarshal(src, dst ipv4.Addr, b []byte, verify bool) (*Segment, error) {
 		Window:  getU16(b[14:]),
 		Urgent:  getU16(b[18:]),
 		Payload: b[hdrLen:],
+		Options: s.Options[:0],
 	}
 	opts := b[HeaderLen:hdrLen]
 	for len(opts) > 0 {
@@ -219,11 +279,11 @@ func Unmarshal(src, dst ipv4.Addr, b []byte, verify bool) (*Segment, error) {
 			opts = opts[1:]
 		default:
 			if len(opts) < 2 {
-				return nil, ErrBadOption
+				return ErrBadOption
 			}
 			l := int(opts[1])
 			if l < 2 || l > len(opts) {
-				return nil, ErrBadOption
+				return ErrBadOption
 			}
 			data := make([]byte, l-2)
 			copy(data, opts[2:l])
@@ -231,7 +291,7 @@ func Unmarshal(src, dst ipv4.Addr, b []byte, verify bool) (*Segment, error) {
 			opts = opts[l:]
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // ComputeChecksum computes the TCP checksum of a marshaled segment over the

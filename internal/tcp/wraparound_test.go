@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"testing"
 	"time"
 )
@@ -155,8 +156,9 @@ func TestHeavyReordering(t *testing.T) {
 	p := newPair(t, Config{})
 	rng := rand.New(rand.NewSource(99))
 	// Replace a->b transport with randomized delay (0.1ms - 3ms).
-	p.a.SetOutput(func(src, dst ipv4.Addr, seg []byte) error {
-		cp := append([]byte(nil), seg...)
+	p.a.SetOutput(func(src, dst ipv4.Addr, pkt *netbuf.Buffer) error {
+		defer pkt.Release()
+		cp := append([]byte(nil), pkt.Bytes()...)
 		d := time.Duration(100+rng.Intn(2900)) * time.Microsecond
 		p.sched.After(d, "reorder.ab", func() { p.b.Input(src, dst, cp) })
 		return nil
