@@ -8,7 +8,7 @@ import (
 	"tcpfailover"
 	"tcpfailover/internal/apps"
 	"tcpfailover/internal/core"
-	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/fault"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/tcp"
@@ -128,15 +128,20 @@ func TestLateFinFromSecondarySynthesizedAck(t *testing.T) {
 
 	// Once the client has consumed the server stream (EOF seen), drop every
 	// client frame at the secondary's NIC: the closing ACK never arrives.
-	secondaryNIC := sc.Secondary.Iface(0).NIC()
 	armed := false
-	sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
-		if !armed || dst != secondaryNIC {
-			return false
-		}
-		hdr, _, err := ipv4.Unmarshal(f.Payload)
-		return err == nil && hdr.Protocol == ipv4.ProtoTCP && hdr.Src == tcpfailover.ClientAddr
+	err := sc.Faults.Impair(fault.Impairment{
+		Link: fault.LinkServerLAN, To: fault.RoleSecondary,
+		Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+			if !armed {
+				return false
+			}
+			hdr, _, err := ipv4.Unmarshal(p)
+			return err == nil && hdr.Protocol == ipv4.ProtoTCP && hdr.Src == tcpfailover.ClientAddr
+		}, 0)},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sc.RunUntil(func() bool { return ec.eof }, 10*time.Minute); err != nil {
 		t.Fatalf("stream: %v", err)
 	}

@@ -11,8 +11,9 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover]
-//	               [-conns N] [-reps N] [-stream BYTES] [-runs N] [-json]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep]
+//	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
+//	               [-faultrates R1,R2,...] [-json]
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"tcpfailover/internal/bench"
@@ -31,22 +34,30 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover")
-		conns   = flag.Int("conns", 51, "connections for the setup-time experiment")
-		reps    = flag.Int("reps", 5, "repetitions per data point")
-		stream  = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
-		runs    = flag.Int("runs", 9, "failover-latency runs")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep")
+		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
+		reps       = flag.Int("reps", 5, "repetitions per data point")
+		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
+		runs       = flag.Int("runs", 9, "failover-latency runs")
+		faultRates = flag.String("faultrates", "",
+			"comma-separated loss rates for the fault sweep (default 0,0.005,0.01,0.02,0.05)")
 		jsonOut = flag.Bool("json", false, "also write "+trajectoryFile)
 		workers = flag.Int("workers", bench.Workers, "simulation worker goroutines")
 	)
 	flag.Parse()
 	bench.Workers = *workers
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Experiments: []string{*experiment},
 		Conns:       *conns,
 		Reps:        *reps,
 		Stream:      *stream,
 		Runs:        *runs,
+		FaultRates:  rates,
 	}
 	if err := run(cfg, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
@@ -80,6 +91,9 @@ func run(cfg bench.Config, jsonOut bool) error {
 	}
 	if r.Failover != nil {
 		failover(*r.Failover)
+	}
+	if r.FaultSweep != nil {
+		faultSweep(r.FaultSweep)
 	}
 	if jsonOut {
 		blob, err := json.MarshalIndent(t, "", "  ")
@@ -168,6 +182,37 @@ func ablate(total int64, rows []bench.AblationRow) {
 	fmt.Printf("(figure-5 workload, %d MB streams)\n", total/(1024*1024))
 	for _, r := range rows {
 		fmt.Printf("%-42s send %8.2f KB/s   receive %8.2f KB/s\n", r.Name, r.SendKBps, r.RecvKBps)
+	}
+	fmt.Println()
+}
+
+// parseRates parses the -faultrates flag; empty means the default sweep.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad -faultrates entry %q (want 0..1)", p)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+func faultSweep(points []bench.FaultPoint) {
+	fmt.Println("=== E7 (extension): failover latency under link impairment ===")
+	fmt.Println("(1 MB server-to-client stream over lossy links, primary crashed")
+	fmt.Println(" mid-stream by the failure schedule; stall = longest post-crash")
+	fmt.Println(" gap in the client's received-byte timeline)")
+	fmt.Printf("%12s %8s %14s %14s %12s %8s %8s\n",
+		"loss model", "rate", "stall med", "stall max", "rate [KB/s]", "intact", "drops")
+	for _, p := range points {
+		fmt.Printf("%12s %8.3f %14v %14v %12.2f %8v %8d\n",
+			p.Model, p.Rate, p.StallMedian, p.StallMax, p.RecvKBps, p.AllIntact, p.Injected)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,178 @@
+package tcpfailover_test
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/fault"
+)
+
+// These tests drive replica failures through the declarative failure
+// schedule (Options.Faults.Schedule) instead of imperative CrashPrimary
+// calls: the crash is an event inside the simulation, armed at build time,
+// so the whole faulty run is reproducible from the scenario options alone.
+
+// scheduledScenario builds a replicated echo scenario whose failure
+// schedule is the given steps.
+func scheduledScenario(t *testing.T, steps ...fault.Step) *tcpfailover.Scenario {
+	t.Helper()
+	opts := tcpfailover.LANOptions()
+	opts.Faults = &fault.Plan{Schedule: steps}
+	return newEchoScenario(t, opts)
+}
+
+// TestScheduleCrashPrimaryBeforeHandshake crashes the primary before the
+// client ever dials. By the time the client connects, the secondary must
+// have taken over the service address, and the connection runs entirely on
+// the promoted replica.
+func TestScheduleCrashPrimaryBeforeHandshake(t *testing.T) {
+	sc := scheduledScenario(t, fault.Step{At: time.Millisecond, Op: fault.OpCrashPrimary})
+	// Run past detection (50 ms heartbeat timeout) and takeover.
+	if err := sc.Run(120 * time.Millisecond); err != nil {
+		t.Fatalf("pre-dial run: %v", err)
+	}
+	ec := startEchoClient(t, sc, 64*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+// TestScheduleCrashPrimaryDuringHandshake schedules the crash inside the
+// failover connection-setup window (~550 us), so the primary dies between
+// the client's SYN and the combined SYN-ACK. The client's SYN
+// retransmissions must land on the promoted secondary and the stream
+// complete bit-compatibly.
+func TestScheduleCrashPrimaryDuringHandshake(t *testing.T) {
+	sc := scheduledScenario(t, fault.Step{At: 300 * time.Microsecond, Op: fault.OpCrashPrimary})
+	ec := startEchoClient(t, sc, 64*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+// TestScheduleCrashPrimaryMidStream crashes the primary at a fixed virtual
+// time in the middle of the transfer; the connection must be taken over
+// and the stream delivered exactly once.
+func TestScheduleCrashPrimaryMidStream(t *testing.T) {
+	sc := scheduledScenario(t, fault.Step{At: 30 * time.Millisecond, Op: fault.OpCrashPrimary})
+	ec := startEchoClient(t, sc, 192*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+	if got := sc.Group.SecondaryBridge().Stats().TakenOver; got == 0 {
+		t.Error("secondary bridge reports no connections taken over")
+	}
+}
+
+// TestScheduleCrashSecondaryDegradedFlush crashes the secondary mid-stream.
+// The primary bridge is then holding primary output bytes with no matching
+// secondary copy; degraded mode must flush them to the client rather than
+// wait forever (section 6).
+func TestScheduleCrashSecondaryDegradedFlush(t *testing.T) {
+	sc := scheduledScenario(t, fault.Step{At: 30 * time.Millisecond, Op: fault.OpCrashSecondary})
+	ec := startEchoClient(t, sc, 192*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+	if !sc.Group.PrimaryBridge().Degraded() {
+		t.Error("primary bridge did not degrade after secondary failure")
+	}
+}
+
+// TestSchedulePartitionThenHeal cuts both directions between the primary
+// and the secondary for 25 ms — shorter than the 50 ms detection timeout —
+// then heals. Neither replica may declare the other dead: no takeover, no
+// degradation, and the client stream is unaffected beyond retransmission
+// delay.
+func TestSchedulePartitionThenHeal(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Faults = &fault.Plan{
+		Impairments: []fault.Impairment{
+			{Link: fault.LinkServerLAN, From: fault.RolePrimary, To: fault.RoleSecondary,
+				Models: []fault.Spec{fault.PartitionGate("p-to-s", false)}},
+			{Link: fault.LinkServerLAN, From: fault.RoleSecondary, To: fault.RolePrimary,
+				Models: []fault.Spec{fault.PartitionGate("s-to-p", false)}},
+		},
+		Schedule: []fault.Step{
+			{At: 10 * time.Millisecond, Op: fault.OpPartition, Arg: "p-to-s"},
+			{At: 10 * time.Millisecond, Op: fault.OpPartition, Arg: "s-to-p"},
+			{At: 35 * time.Millisecond, Op: fault.OpHeal, Arg: "p-to-s"},
+			{At: 35 * time.Millisecond, Op: fault.OpHeal, Arg: "s-to-p"},
+		},
+	}
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 192*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+	if got := sc.Group.SecondaryBridge().Stats().TakenOver; got != 0 {
+		t.Errorf("TakenOver = %d during a sub-timeout partition, want 0", got)
+	}
+	if sc.Group.PrimaryBridge().Degraded() {
+		t.Error("primary bridge degraded during a sub-timeout partition")
+	}
+	if sc.Faults.Stats().Dropped == 0 {
+		t.Error("partition dropped nothing")
+	}
+}
+
+// TestScheduleCascade layers a cascading failure: the network first loses
+// frames on both links, then the primary crashes; later the tertiary
+// depth-2 extension is not in play, so the promoted secondary finishes the
+// stream alone through the lossy network.
+func TestScheduleCascade(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Faults = &fault.Plan{
+		Impairments: []fault.Impairment{
+			{Link: fault.LinkServerLAN, Models: []fault.Spec{fault.Bernoulli(0.005)}},
+			{Link: fault.LinkClientLink, Models: []fault.Spec{fault.Bernoulli(0.005)}},
+		},
+		Schedule: []fault.Step{
+			{At: 30 * time.Millisecond, Op: fault.OpCrashPrimary},
+		},
+	}
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 128*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+}
+
+// TestScheduleValidation pins the build-time rejection of schedules the
+// topology cannot honor.
+func TestScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*tcpfailover.Options)
+	}{
+		{"crash-secondary unreplicated", func(o *tcpfailover.Options) {
+			o.Unreplicated = true
+			o.Faults = &fault.Plan{Schedule: []fault.Step{{Op: fault.OpCrashSecondary}}}
+		}},
+		{"crash-tertiary without tertiary", func(o *tcpfailover.Options) {
+			o.Faults = &fault.Plan{Schedule: []fault.Step{{Op: fault.OpCrashTertiary}}}
+		}},
+		{"unknown partition", func(o *tcpfailover.Options) {
+			o.Faults = &fault.Plan{Schedule: []fault.Step{{Op: fault.OpPartition, Arg: "nonesuch"}}}
+		}},
+		{"unknown op", func(o *tcpfailover.Options) {
+			o.Faults = &fault.Plan{Schedule: []fault.Step{{Op: "reboot"}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tcpfailover.LANOptions()
+			tc.mut(&opts)
+			if _, err := tcpfailover.NewScenario(opts); err == nil {
+				t.Error("invalid schedule accepted at build time")
+			}
+		})
+	}
+}

@@ -453,27 +453,21 @@ func FTPRates(mode Mode, reps int) ([]FTPPoint, error) {
 
 	out := make([]FTPPoint, 0, len(names))
 	for _, name := range names {
+		var get, put metrics.Floats
+		for _, v := range getRates[name] {
+			get.Add(v)
+		}
+		for _, v := range putRates[name] {
+			put.Add(v)
+		}
 		out = append(out, FTPPoint{
 			Name:    name,
 			FileKB:  float64(files[name]) / 1024.0,
-			GetKBps: medianFloat(getRates[name]),
-			PutKBps: medianFloat(putRates[name]),
+			GetKBps: get.Median(),
+			PutKBps: put.Median(),
 		})
 	}
 	return out, nil
-}
-
-func medianFloat(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), v...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	return s[(len(s)-1)/2]
 }
 
 // --- Ablations: design choices toggled one at a time ---------------------------

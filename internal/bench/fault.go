@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/fault"
+	"tcpfailover/internal/metrics"
+	"tcpfailover/internal/netstack"
+)
+
+// --- E7 (extension): failover latency under link impairment ---------------------
+
+// DefaultFaultRates is the loss-rate axis of the fault sweep.
+var DefaultFaultRates = []float64{0, 0.005, 0.01, 0.02, 0.05}
+
+// faultSweepModels are the loss channels the sweep exercises per rate:
+// independent (Bernoulli) and bursty (Gilbert–Elliott) loss.
+var faultSweepModels = []string{"bernoulli", "bursty"}
+
+// FaultPoint is one (loss model, loss rate) cell of the fault sweep.
+type FaultPoint struct {
+	Model       string        `json:"model"`
+	Rate        float64       `json:"rate"`
+	N           int           `json:"n"`
+	StallMedian time.Duration `json:"stall_median_ns"`
+	StallMax    time.Duration `json:"stall_max_ns"`
+	RecvKBps    float64       `json:"recv_kbps"` // median across runs
+	AllIntact   bool          `json:"all_intact"`
+	Injected    int64         `json:"faults_injected"` // frames dropped across runs
+}
+
+// FaultSweep crosses frame-loss rates with failover times: for every
+// (model, rate) cell it runs a server-to-client stream through lossy links
+// (both the server LAN and the client link), crashes the primary at a
+// different point in each run via the failure schedule, and reports the
+// client-observed post-crash stall and overall throughput. The zero-rate
+// row reproduces E6 on a clean network; the rest show how loss stretches
+// the recovery window (lost retransmissions push the client into
+// exponential RTO backoff on top of the detection timeout).
+func FaultSweep(rates []float64, runs int) ([]FaultPoint, error) {
+	if len(rates) == 0 {
+		rates = DefaultFaultRates
+	}
+	const total = 1024 * 1024
+	type cell struct {
+		model string
+		rate  float64
+	}
+	cells := make([]cell, 0, len(faultSweepModels)*len(rates))
+	for _, m := range faultSweepModels {
+		for _, r := range rates {
+			cells = append(cells, cell{m, r})
+		}
+	}
+
+	type runOut struct {
+		stall    time.Duration
+		kbps     float64
+		intact   bool
+		injected int64
+	}
+	outs := make([]runOut, len(cells)*runs)
+	err := parallelEach(len(outs), func(j int) error {
+		c, run := cells[j/runs], j%runs
+
+		// Loss on every transmission of both links; the same rate hits data,
+		// ACKs, replication traffic, and heartbeats alike.
+		var imps []fault.Impairment
+		if c.rate > 0 {
+			spec := fault.Bernoulli(c.rate)
+			if c.model == "bursty" {
+				spec = fault.BurstyLoss(c.rate)
+			}
+			imps = []fault.Impairment{
+				{Link: fault.LinkServerLAN, Models: []fault.Spec{spec}},
+				{Link: fault.LinkClientLink, Models: []fault.Spec{spec}},
+			}
+		}
+		// The failover-time axis: spread the crash over the transfer.
+		crashAt := 20*time.Millisecond +
+			time.Duration(run)*60*time.Millisecond/time.Duration(runs)
+
+		opts := tcpfailover.LANOptions()
+		opts.Seed = int64(7000 + j)
+		opts.ServerPorts = []uint16{benchPort}
+		opts.Faults = &fault.Plan{
+			Impairments: imps,
+			Schedule:    []fault.Step{{At: crashAt, Op: fault.OpCrashPrimary}},
+		}
+		sc, err := tcpfailover.NewScenario(opts)
+		if err != nil {
+			return err
+		}
+		if err := sc.Group.OnEach(func(h *netstack.Host) error {
+			_, err := apps.NewPushServer(h.TCP(), benchPort, total)
+			return err
+		}); err != nil {
+			return err
+		}
+		sc.Start()
+		conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
+		if err != nil {
+			return err
+		}
+		recv := apps.NewReceiver(conn, sc.Sched)
+		var established time.Duration
+		conn.OnEstablished(func() { established = sc.Now() })
+		// Severe loss can exhaust TCP's retransmission budget (MaxRetries)
+		// and abort the connection; that is a legitimate outcome of the
+		// harshest cells, recorded as a non-intact run rather than a bench
+		// failure.
+		died := false
+		conn.OnClose(func(err error) {
+			if err != nil {
+				died = true
+			}
+		})
+
+		// Walk the event loop watching the received-byte timeline; the
+		// stall is the longest post-crash gap between progress events.
+		// A sender that exhausts its retransmission budget aborts with a
+		// single RST; if loss eats that RST the receiving client has
+		// nothing to retransmit and hangs silently, so a no-progress
+		// window longer than the sender's entire backoff sequence
+		// (~0.2 s doubling to the 60 s MaxRTO over MaxRetries ≈ 4.7
+		// virtual minutes) also declares the run dead.
+		const deadAfter = 10 * time.Minute
+		var lastProgress, maxGap time.Duration
+		var prevReceived int64
+		for !recv.EOF && !died {
+			if !sc.Sched.Step() {
+				return fmt.Errorf("%s rate %g run %d: queue empty (received=%d)",
+					c.model, c.rate, run, recv.Received)
+			}
+			if recv.Received != prevReceived {
+				if lastProgress > crashAt {
+					if gap := sc.Now() - lastProgress; gap > maxGap {
+						maxGap = gap
+					}
+				}
+				prevReceived = recv.Received
+				lastProgress = sc.Now()
+			}
+			if sc.Now()-lastProgress > deadAfter {
+				break
+			}
+			if sc.Now() > time.Hour {
+				return fmt.Errorf("%s rate %g run %d: timeout (received=%d)",
+					c.model, c.rate, run, recv.Received)
+			}
+		}
+		end := recv.EOFAt
+		if !recv.EOF {
+			// Connection died mid-stream: the rate runs to the last byte
+			// that arrived. The terminal silence is not a stall (nothing
+			// recovered), it is the run's non-intact verdict.
+			end = lastProgress
+		}
+		outs[j] = runOut{
+			stall:    maxGap,
+			kbps:     metrics.RateKBps(recv.Received, end-established),
+			intact:   recv.EOF && recv.BadAt < 0 && recv.Received == total,
+			injected: sc.Faults.Stats().Dropped,
+		}
+		addEvents(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]FaultPoint, 0, len(cells))
+	for ci, c := range cells {
+		var stalls metrics.Durations
+		var kbps metrics.Floats
+		p := FaultPoint{Model: c.model, Rate: c.rate, N: runs, AllIntact: true}
+		for _, o := range outs[ci*runs : (ci+1)*runs] {
+			stalls.Add(o.stall)
+			kbps.Add(o.kbps)
+			p.AllIntact = p.AllIntact && o.intact
+			p.Injected += o.injected
+		}
+		p.StallMedian = stalls.Median()
+		p.StallMax = stalls.Max()
+		p.RecvKBps = kbps.Median()
+		points = append(points, p)
+	}
+	return points, nil
+}

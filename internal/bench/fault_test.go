@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFaultSweepDeterministicAcrossWorkerCounts pins the fault subsystem's
+// core guarantee end to end: every impairment draws randomness from a
+// stream derived only from the simulation seed, so a faulty run is
+// byte-identical no matter how the simulations are scheduled across
+// goroutines.
+func TestFaultSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	run := func(workers int) []byte {
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		points, err := FaultSweep([]float64{0, 0.02}, 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := json.MarshalIndent(points, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fault sweep differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestFaultSweepShape sanity-checks the sweep's physics on a tiny grid:
+// loss injects drops, streams survive intact, and the lossy cells cannot
+// outrun the clean one.
+func TestFaultSweepShape(t *testing.T) {
+	points, err := FaultSweep([]float64{0, 0.02}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 models x 2 rates)", len(points))
+	}
+	byKey := make(map[string]FaultPoint, len(points))
+	for _, p := range points {
+		byKey[p.Model+"@"+time.Duration(int64(p.Rate*1000)).String()] = p
+		if !p.AllIntact {
+			t.Errorf("%s rate %g: stream not intact", p.Model, p.Rate)
+		}
+		if p.Rate == 0 && p.Injected != 0 {
+			t.Errorf("%s rate 0 injected %d drops", p.Model, p.Injected)
+		}
+		if p.Rate > 0 && p.Injected == 0 {
+			t.Errorf("%s rate %g injected no drops", p.Model, p.Rate)
+		}
+	}
+	for _, model := range faultSweepModels {
+		var clean, lossy FaultPoint
+		for _, p := range points {
+			if p.Model != model {
+				continue
+			}
+			if p.Rate == 0 {
+				clean = p
+			} else {
+				lossy = p
+			}
+		}
+		if lossy.RecvKBps >= clean.RecvKBps {
+			t.Errorf("%s: lossy rate %.2f KB/s not below clean %.2f KB/s",
+				model, lossy.RecvKBps, clean.RecvKBps)
+		}
+	}
+}

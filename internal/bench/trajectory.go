@@ -10,22 +10,25 @@ import (
 // parameters. It mirrors the failover-bench command-line flags.
 type Config struct {
 	// Experiments names the experiments to run: connsetup, fig3, fig4,
-	// fig5, fig6, ablate, failover. Empty or containing "all" runs
-	// everything. Execution order is always the canonical order above,
-	// regardless of the order named here.
+	// fig5, fig6, ablate, failover, faultsweep. Empty or containing "all"
+	// runs everything. Execution order is always the canonical order
+	// above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
 	Conns       int      `json:"conns"`  // connections for E1
 	Reps        int      `json:"reps"`   // repetitions per data point (E2, E3, E5)
 	Stream      int64    `json:"stream"` // stream bytes for E4 (ablations use a quarter)
-	Runs        int      `json:"runs"`   // failover-latency runs (E6)
+	Runs        int      `json:"runs"`   // failover-latency runs (E6, E7)
 	// Sizes overrides the message-size sweep for figures 3 and 4;
 	// nil means Figure3Sizes.
 	Sizes []int64 `json:"sizes,omitempty"`
+	// FaultRates overrides the loss-rate axis of the fault sweep (E7);
+	// nil means DefaultFaultRates.
+	FaultRates []float64 `json:"fault_rates,omitempty"`
 }
 
 // experimentOrder is the canonical execution order; results are emitted in
 // this order no matter how Config.Experiments is spelled.
-var experimentOrder = []string{"connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover"}
+var experimentOrder = []string{"connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep"}
 
 // enabled expands Config.Experiments into a membership set, rejecting
 // unknown names.
@@ -59,16 +62,17 @@ func (c Config) enabled() (map[string]bool, error) {
 // marshalled Results are byte-identical regardless of the worker count —
 // the determinism test pins this down.
 type Results struct {
-	ConnSetup []ConnSetupResult `json:"conn_setup,omitempty"` // standard, then failover
-	Fig3Std   []TransferPoint   `json:"fig3_standard,omitempty"`
-	Fig3Fo    []TransferPoint   `json:"fig3_failover,omitempty"`
-	Fig4Std   []TransferPoint   `json:"fig4_standard,omitempty"`
-	Fig4Fo    []TransferPoint   `json:"fig4_failover,omitempty"`
-	Fig5      []RateResult      `json:"fig5,omitempty"` // standard, then failover
-	Fig6Std   []FTPPoint        `json:"fig6_standard,omitempty"`
-	Fig6Fo    []FTPPoint        `json:"fig6_failover,omitempty"`
-	Ablation  []AblationRow     `json:"ablation,omitempty"`
-	Failover  *FailoverResult   `json:"failover,omitempty"`
+	ConnSetup  []ConnSetupResult `json:"conn_setup,omitempty"` // standard, then failover
+	Fig3Std    []TransferPoint   `json:"fig3_standard,omitempty"`
+	Fig3Fo     []TransferPoint   `json:"fig3_failover,omitempty"`
+	Fig4Std    []TransferPoint   `json:"fig4_standard,omitempty"`
+	Fig4Fo     []TransferPoint   `json:"fig4_failover,omitempty"`
+	Fig5       []RateResult      `json:"fig5,omitempty"` // standard, then failover
+	Fig6Std    []FTPPoint        `json:"fig6_standard,omitempty"`
+	Fig6Fo     []FTPPoint        `json:"fig6_failover,omitempty"`
+	Ablation   []AblationRow     `json:"ablation,omitempty"`
+	Failover   *FailoverResult   `json:"failover,omitempty"`
+	FaultSweep []FaultPoint      `json:"fault_sweep,omitempty"`
 }
 
 // ExperimentPerf records one experiment's host-side cost: wall-clock time,
@@ -236,6 +240,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 			}
 			t.Results.Failover = &r
 			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["faultsweep"] {
+		if err := t.measure("faultsweep", func() error {
+			var err error
+			t.Results.FaultSweep, err = FaultSweep(cfg.FaultRates, cfg.Runs)
+			return err
 		}); err != nil {
 			return nil, err
 		}

@@ -44,6 +44,7 @@ type PrimaryStats struct {
 	LateFinAcks              int64
 	ConnsOpened              int64
 	ConnsClosed              int64
+	BadChecksumDrops         int64
 }
 
 // pconn is the primary bridge's per-connection state: the two output
@@ -267,6 +268,20 @@ func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	}
 }
 
+// verifyDiverted checks the TCP checksum of a diverted segment before the
+// demultiplexer consumes it. Diverted segments bypass the local TCP layer's
+// verification, and the bridge re-checksums the bytes it merges toward the
+// client — so without this check, a bit flipped on the server LAN would be
+// laundered into a validly-checksummed client segment. Dropping the
+// segment instead lets the secondary's TCP retransmit it.
+func (b *PrimaryBridge) verifyDiverted(hdr ipv4.Header, payload []byte) bool {
+	if tcp.ComputeChecksum(hdr.Src, hdr.Dst, payload) != 0 {
+		b.stats.BadChecksumDrops++
+		return false
+	}
+	return true
+}
+
 // --- inbound: datagrams addressed to aP --------------------------------------
 
 func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
@@ -278,6 +293,9 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		// promotion in flight) still belong to the demultiplexer; anything
 		// else is not ours.
 		if _, _, ok := tcp.StripOrigDstOption(payload); ok && b.host.Owns(hdr.Dst) {
+			if !b.verifyDiverted(hdr, payload) {
+				return netstack.VerdictDrop, hdr, payload
+			}
 			if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
 				if !b.degraded {
 					b.fromSecondary(orig, stripped)
@@ -289,6 +307,9 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 	}
 	if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
 		// Demultiplexer: a diverted segment from the secondary.
+		if !b.verifyDiverted(hdr, payload) {
+			return netstack.VerdictDrop, hdr, payload
+		}
 		if !b.degraded {
 			b.fromSecondary(orig, stripped)
 		}

@@ -150,20 +150,60 @@ type Segment struct {
 	deliverFree []*deliverEvent
 	recvScratch []*NIC
 
-	// dropTx, when set, discards matching frames at transmission (before
-	// any station receives them); dropRx discards matching frames at one
-	// receiving NIC. Test hooks for the paper's section 4 loss cases.
+	// impair, when set, judges every frame: at transmission (drop, extra
+	// delay, duplication, in-place corruption) and once per receiving NIC
+	// (asymmetric drop). internal/fault provides the standard
+	// implementation; the segment only applies verdicts.
+	impair Impairer
+
+	// dropTx / dropRx are legacy boolean loss filters, kept as a thin shim
+	// for code that predates the fault subsystem. New code should attach
+	// impairment models through internal/fault instead.
 	dropTx func(f Frame) bool
 	dropRx func(dst *NIC, f Frame) bool
 }
 
+// TxVerdict is an Impairer's decision about one transmitted frame.
+type TxVerdict struct {
+	// Drop loses the frame on the wire: no station receives it.
+	Drop bool
+	// Delay defers delivery beyond the medium's own serialization,
+	// propagation, and jitter.
+	Delay time.Duration
+	// Duplicates delivers this many extra copies of the frame.
+	Duplicates int
+}
+
+// Impairer is the segment's fault-injection hook (see internal/fault).
+type Impairer interface {
+	// Tx is consulted once per frame at transmission time. It may patch
+	// f.Payload in place (bit corruption): Send has already copied the
+	// payload into a pooled buffer, and every receiver gets its own copy
+	// of the corrupted bits, exactly as on a physical medium.
+	Tx(src *NIC, f Frame) TxVerdict
+	// Rx is consulted once per (receiver, frame) pair for frames that
+	// survived transmission; returning true loses the frame at that
+	// station only (e.g. dropped by the secondary but received by the
+	// primary, the paper's second loss case).
+	Rx(dst *NIC, f Frame) bool
+}
+
+// SetImpairer installs the segment's fault-injection hook (nil to clear).
+func (s *Segment) SetImpairer(imp Impairer) { s.impair = imp }
+
 // SetDropTxFilter installs a transmit-side loss injector (nil to clear).
+//
+// Deprecated shim: this predates internal/fault; prefer a fault.DropWhen
+// impairment, which composes with the other models and is counted in the
+// injected-fault stats.
 func (s *Segment) SetDropTxFilter(f func(Frame) bool) { s.dropTx = f }
 
 // SetDropRxFilter installs a receive-side loss injector (nil to clear); it
-// sees each (receiver, frame) pair, so a frame can be lost at one station
-// and received by another — e.g. dropped by the secondary but received by
-// the primary, the paper's second loss case.
+// sees each (receiver, frame) pair.
+//
+// Deprecated shim: this predates internal/fault; prefer a fault.DropWhen
+// impairment bound with To, which composes with the other models and is
+// counted in the injected-fault stats.
 func (s *Segment) SetDropRxFilter(f func(dst *NIC, frame Frame) bool) { s.dropRx = f }
 
 // NewSegment creates a segment managed by sched.
@@ -227,9 +267,28 @@ func (s *Segment) transmit(src *NIC, f Frame) {
 		f.release()
 		return
 	}
-	delivery := s.busyUntil + s.cfg.Propagation
+	var verdict TxVerdict
+	if s.impair != nil {
+		verdict = s.impair.Tx(src, f)
+		if verdict.Drop {
+			s.stats.Lost++
+			f.release()
+			return
+		}
+	}
+	delivery := s.busyUntil + s.cfg.Propagation + verdict.Delay
 	if s.cfg.Jitter > 0 {
 		delivery += time.Duration(s.sched.Rand().Int63n(int64(s.cfg.Jitter)))
+	}
+	// Duplicates ride the medium back-to-back behind the original; each
+	// copy gets its own pooled buffer so per-receiver ownership rules hold.
+	for k := 1; k <= verdict.Duplicates; k++ {
+		cp := f
+		cp.Buf = f.Buf.Clone()
+		cp.Payload = cp.Buf.Bytes()
+		dev := s.getDeliverEvent()
+		dev.src, dev.f = src, cp
+		s.sched.AtArg(delivery+time.Duration(k)*ser, "ether.deliver", runDeliver, dev)
 	}
 	ev := s.getDeliverEvent()
 	ev.src, ev.f = src, f
@@ -274,6 +333,10 @@ func (s *Segment) deliver(src *NIC, f Frame) {
 		}
 		if f.Dst == nic.mac || f.Dst.IsBroadcast() || nic.promiscuous {
 			if s.dropRx != nil && s.dropRx(nic, f) {
+				s.stats.Lost++
+				continue
+			}
+			if s.impair != nil && s.impair.Rx(nic, f) {
 				s.stats.Lost++
 				continue
 			}

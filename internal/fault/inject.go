@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"time"
+
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/sim"
+)
+
+// Stats counts faults an injector actually applied (as opposed to model
+// parameters, which are probabilities).
+type Stats struct {
+	// Examined counts frames a chain judged.
+	Examined int64
+	// Dropped counts frames discarded (loss models, partitions, rate-limit
+	// tail drops).
+	Dropped int64
+	// Delayed counts frames that picked up extra delivery delay.
+	Delayed int64
+	// Duplicated counts extra copies delivered.
+	Duplicated int64
+	// Corrupted counts bit flips applied.
+	Corrupted int64
+	// ExtraDelay is the sum of injected delays.
+	ExtraDelay time.Duration
+}
+
+// add folds o into s.
+func (s *Stats) add(o Stats) {
+	s.Examined += o.Examined
+	s.Dropped += o.Dropped
+	s.Delayed += o.Delayed
+	s.Duplicated += o.Duplicated
+	s.Corrupted += o.Corrupted
+	s.ExtraDelay += o.ExtraDelay
+}
+
+// Event describes one injected fault, for the trace facility.
+type Event struct {
+	Now   time.Duration
+	Link  LinkID
+	Kind  string // "drop", "delay", "duplicate", "corrupt"
+	Model string
+	Size  int // frame payload bytes
+}
+
+// binding is one compiled Impairment: a model chain plus its directional
+// constraints, resolved to NICs.
+type binding struct {
+	from, to *ethernet.NIC // nil = any station
+	models   []Model
+}
+
+// Injector attaches to one ethernet.Segment and implements its Impairer
+// hook by running the compiled chains. Transmit-side chains (To: RoleAny)
+// may drop, delay, duplicate, and corrupt; receive-side chains run once
+// per (receiver, frame) pair and may only drop.
+type Injector struct {
+	sched *sim.Scheduler
+	link  LinkID
+	tx    []*binding
+	rx    []*binding
+	stats Stats
+
+	// onEvent, when set, observes every injected fault.
+	onEvent func(Event)
+}
+
+// newInjector creates an injector for the link and installs it on seg.
+func newInjector(sched *sim.Scheduler, link LinkID, seg *ethernet.Segment) *Injector {
+	inj := &Injector{sched: sched, link: link}
+	seg.SetImpairer(inj)
+	return inj
+}
+
+// Stats returns a copy of the injector's counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// event reports one applied fault.
+func (inj *Injector) event(kind, model string, size int) {
+	if inj.onEvent != nil {
+		inj.onEvent(Event{Now: inj.sched.Now(), Link: inj.link, Kind: kind, Model: model, Size: size})
+	}
+}
+
+// judge runs b's chain over the frame and returns the verdict plus the
+// name of the model that dropped it (for attribution).
+func (b *binding) judge(now time.Duration, payload []byte) (Verdict, string) {
+	var v Verdict
+	for _, m := range b.models {
+		m.Judge(now, payload, &v)
+		if v.Drop {
+			return v, m.Name()
+		}
+	}
+	return v, ""
+}
+
+// Tx implements ethernet.Impairer. It runs every transmit-side chain whose
+// From matches the sender, applies corruption in place, and returns the
+// combined verdict.
+func (inj *Injector) Tx(src *ethernet.NIC, f ethernet.Frame) ethernet.TxVerdict {
+	var out ethernet.TxVerdict
+	now := inj.sched.Now()
+	for _, b := range inj.tx {
+		if b.from != nil && b.from != src {
+			continue
+		}
+		inj.stats.Examined++
+		v, dropper := b.judge(now, f.Payload)
+		if v.Drop {
+			inj.stats.Dropped++
+			inj.event("drop", dropper, len(f.Payload))
+			out.Drop = true
+			return out
+		}
+		for _, bit := range v.FlipBits {
+			f.Payload[bit/8] ^= 1 << (bit % 8)
+			inj.stats.Corrupted++
+			inj.event("corrupt", "corrupt", len(f.Payload))
+		}
+		if v.Delay > 0 {
+			inj.stats.Delayed++
+			inj.stats.ExtraDelay += v.Delay
+			inj.event("delay", "delay", len(f.Payload))
+			out.Delay += v.Delay
+		}
+		if v.Duplicates > 0 {
+			inj.stats.Duplicated += int64(v.Duplicates)
+			inj.event("duplicate", "duplicate", len(f.Payload))
+			out.Duplicates += v.Duplicates
+		}
+	}
+	return out
+}
+
+// Rx implements ethernet.Impairer: it runs every receive-side chain whose
+// To matches the receiver (and From, if set, the original sender) and
+// reports whether this receiver loses the frame.
+func (inj *Injector) Rx(dst *ethernet.NIC, f ethernet.Frame) bool {
+	now := inj.sched.Now()
+	for _, b := range inj.rx {
+		if b.to != dst {
+			continue
+		}
+		if b.from != nil && b.from.MAC() != f.Src {
+			continue
+		}
+		inj.stats.Examined++
+		if v, dropper := b.judge(now, f.Payload); v.Drop {
+			inj.stats.Dropped++
+			inj.event("drop", dropper, len(f.Payload))
+			return true
+		}
+	}
+	return false
+}

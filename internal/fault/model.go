@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"time"
+)
+
+// Verdict accumulates the fate of one frame as it passes through a chain of
+// models. Models fold their effects in; the injector applies the combined
+// result to the Ethernet segment.
+type Verdict struct {
+	// Drop discards the frame.
+	Drop bool
+	// Delay is extra delivery delay beyond the medium's own timing.
+	Delay time.Duration
+	// Duplicates is the number of extra copies to deliver.
+	Duplicates int
+	// FlipBits lists payload bit offsets to invert (corruption). The
+	// injector patches the payload in place before delivery.
+	FlipBits []int
+}
+
+// Model is one impairment applied to frames crossing a link in one
+// direction. Models are stateful (burst state, token buckets, hit counts)
+// and own a private PRNG stream, so a chain's behaviour is a function of
+// the simulation seed and the frame sequence alone.
+type Model interface {
+	// Name identifies the model in stats and trace events.
+	Name() string
+	// Judge folds the model's effect on one frame into v. payload is the
+	// frame payload (an IP datagram or ARP packet); models must not modify
+	// it — corruption is requested via v.FlipBits and applied centrally.
+	Judge(now time.Duration, payload []byte, v *Verdict)
+}
+
+// --- loss ---------------------------------------------------------------
+
+// bernoulli drops each frame independently with fixed probability.
+type bernoulli struct {
+	p   float64
+	rng *Rand
+}
+
+func (m *bernoulli) Name() string { return "bernoulli" }
+
+func (m *bernoulli) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	if m.p > 0 && m.rng.Float64() < m.p {
+		v.Drop = true
+	}
+}
+
+// gilbertElliott is the classic two-state burst-loss channel: a good state
+// with low loss and a bad state with high loss, with per-frame transition
+// probabilities between them. Mean burst length is 1/badToGood frames.
+type gilbertElliott struct {
+	goodToBad, badToGood float64
+	goodLoss, badLoss    float64
+	bad                  bool
+	rng                  *Rand
+}
+
+func (m *gilbertElliott) Name() string { return "gilbert-elliott" }
+
+func (m *gilbertElliott) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	if m.bad {
+		if m.rng.Float64() < m.badToGood {
+			m.bad = false
+		}
+	} else if m.rng.Float64() < m.goodToBad {
+		m.bad = true
+	}
+	loss := m.goodLoss
+	if m.bad {
+		loss = m.badLoss
+	}
+	if loss > 0 && m.rng.Float64() < loss {
+		v.Drop = true
+	}
+}
+
+// dropWhen drops frames matching a caller predicate, up to a limit. It is
+// the programmable model the paper's section 4 loss cases use to lose one
+// specific segment at one specific station.
+type dropWhen struct {
+	match func(payload []byte) bool
+	times int // 0 = unlimited
+	hits  int
+}
+
+func (m *dropWhen) Name() string { return "drop-when" }
+
+func (m *dropWhen) Judge(_ time.Duration, payload []byte, v *Verdict) {
+	if m.times > 0 && m.hits >= m.times {
+		return
+	}
+	if m.match == nil || m.match(payload) {
+		m.hits++
+		v.Drop = true
+	}
+}
+
+// --- timing -------------------------------------------------------------
+
+// jitter adds a fixed base delay plus a uniform random component, modeling
+// cross traffic on shared infrastructure.
+type jitter struct {
+	base, spread time.Duration
+	rng          *Rand
+}
+
+func (m *jitter) Name() string { return "delay" }
+
+func (m *jitter) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	v.Delay += m.base + m.rng.Durationn(m.spread)
+}
+
+// reorder holds a random subset of frames back by a fixed interval, so
+// later frames overtake them on delivery — netem-style reordering.
+type reorder struct {
+	p    float64
+	hold time.Duration
+	rng  *Rand
+}
+
+func (m *reorder) Name() string { return "reorder" }
+
+func (m *reorder) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	if m.p > 0 && m.rng.Float64() < m.p {
+		v.Delay += m.hold
+	}
+}
+
+// rateLimit shapes the direction to a byte rate with a virtual queue: each
+// frame waits behind the backlog, and frames that would wait longer than
+// the queue bound are tail-dropped. It models a slow bottleneck (the
+// paper's WAN) independent of the segment's own bandwidth.
+type rateLimit struct {
+	bps      int64
+	maxQueue time.Duration
+	nextFree time.Duration
+}
+
+func (m *rateLimit) Name() string { return "rate-limit" }
+
+func (m *rateLimit) Judge(now time.Duration, payload []byte, v *Verdict) {
+	ser := time.Duration(int64(len(payload)) * 8 * int64(time.Second) / m.bps)
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	if wait := start - now; m.maxQueue > 0 && wait > m.maxQueue {
+		v.Drop = true
+		return
+	}
+	m.nextFree = start + ser
+	v.Delay += (start - now) + ser
+}
+
+// --- content ------------------------------------------------------------
+
+// duplicate delivers extra copies of random frames.
+type duplicate struct {
+	p      float64
+	copies int
+	rng    *Rand
+}
+
+func (m *duplicate) Name() string { return "duplicate" }
+
+func (m *duplicate) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	if m.p > 0 && m.rng.Float64() < m.p {
+		v.Duplicates += m.copies
+	}
+}
+
+// corrupt flips one random payload bit in a random subset of frames. The
+// flip models corruption that slipped past the Ethernet CRC, so the IPv4
+// and TCP checksums are the last line of defense — exactly the property
+// the corruption tests pin down.
+type corrupt struct {
+	p   float64
+	rng *Rand
+}
+
+func (m *corrupt) Name() string { return "corrupt" }
+
+func (m *corrupt) Judge(_ time.Duration, payload []byte, v *Verdict) {
+	if len(payload) == 0 || m.p <= 0 || m.rng.Float64() >= m.p {
+		return
+	}
+	v.FlipBits = append(v.FlipBits, m.rng.Intn(len(payload)*8))
+}
+
+// --- partitions ---------------------------------------------------------
+
+// Partition is a named on/off gate: while active, every frame in the
+// bound direction is dropped. The failure schedule toggles partitions by
+// name (OpPartition / OpHeal), and tests may toggle them directly.
+type Partition struct {
+	name   string
+	active bool
+}
+
+// Name returns the partition's schedule name.
+func (m *Partition) Name() string { return "partition:" + m.name }
+
+// Judge drops the frame while the partition is active.
+func (m *Partition) Judge(_ time.Duration, _ []byte, v *Verdict) {
+	if m.active {
+		v.Drop = true
+	}
+}
+
+// SetActive engages or heals the partition.
+func (m *Partition) SetActive(on bool) { m.active = on }
+
+// Active reports whether the partition is engaged.
+func (m *Partition) Active() bool { return m.active }

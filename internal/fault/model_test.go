@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// judgeN runs n frames of the given size through a freshly built spec and
+// returns the verdicts.
+func judgeN(t *testing.T, spec Spec, n int, size int) []Verdict {
+	t.Helper()
+	m, err := spec.build(NewRand(1).Split("test"))
+	if err != nil {
+		t.Fatalf("build %q: %v", spec.Kind, err)
+	}
+	payload := make([]byte, size)
+	out := make([]Verdict, n)
+	now := time.Duration(0)
+	for i := range out {
+		m.Judge(now, payload, &out[i])
+		now += time.Millisecond
+	}
+	return out
+}
+
+func countDrops(vs []Verdict) int {
+	n := 0
+	for _, v := range vs {
+		if v.Drop {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBernoulliRate(t *testing.T) {
+	drops := countDrops(judgeN(t, Bernoulli(0.1), 20000, 100))
+	if drops < 1700 || drops > 2300 {
+		t.Errorf("bernoulli(0.1) dropped %d of 20000, want ~2000", drops)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// An average 2% GE channel must drop in bursts: the conditional
+	// probability that the frame after a drop is also dropped must be far
+	// above the marginal rate.
+	vs := judgeN(t, BurstyLoss(0.02), 100000, 100)
+	drops := countDrops(vs)
+	if drops < 1200 || drops > 2800 {
+		t.Fatalf("bursty(0.02) dropped %d of 100000, want ~2000", drops)
+	}
+	pairs, after := 0, 0
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Drop {
+			pairs++
+			if vs[i].Drop {
+				after++
+			}
+		}
+	}
+	cond := float64(after) / float64(pairs)
+	if cond < 0.08 {
+		t.Errorf("P(drop|previous drop) = %.3f, want >> 0.02 (bursty)", cond)
+	}
+}
+
+func TestDropWhenTimes(t *testing.T) {
+	hit := 0
+	spec := DropWhen(func(p []byte) bool { hit++; return true }, 3)
+	vs := judgeN(t, spec, 10, 10)
+	if got := countDrops(vs); got != 3 {
+		t.Errorf("drop-when(times=3) dropped %d of 10", got)
+	}
+}
+
+func TestDelayAndReorder(t *testing.T) {
+	vs := judgeN(t, Delay(time.Millisecond, time.Millisecond), 100, 10)
+	for i, v := range vs {
+		if v.Delay < time.Millisecond || v.Delay >= 2*time.Millisecond {
+			t.Fatalf("frame %d delay %v outside [1ms, 2ms)", i, v.Delay)
+		}
+	}
+	vs = judgeN(t, Reorder(0.5, 10*time.Millisecond), 1000, 10)
+	held := 0
+	for _, v := range vs {
+		switch v.Delay {
+		case 0:
+		case 10 * time.Millisecond:
+			held++
+		default:
+			t.Fatalf("reorder produced unexpected delay %v", v.Delay)
+		}
+	}
+	if held < 400 || held > 600 {
+		t.Errorf("reorder(0.5) held %d of 1000", held)
+	}
+}
+
+func TestRateLimitShapesAndDrops(t *testing.T) {
+	// 1000-byte frames at 1 MB/s take 8 ms each; frames arriving
+	// back-to-back at t=0 queue behind each other until the 20 ms queue
+	// bound tail-drops them.
+	m, err := RateLimit(1_000_000, 20*time.Millisecond).build(NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	var vs [6]Verdict
+	for i := range vs {
+		m.Judge(0, payload, &vs[i])
+	}
+	ser := 8 * time.Millisecond
+	for i, want := range []time.Duration{ser, 2 * ser, 3 * ser} {
+		if vs[i].Drop || vs[i].Delay != want {
+			t.Errorf("frame %d: delay %v drop %v, want %v", i, vs[i].Delay, vs[i].Drop, want)
+		}
+	}
+	// Frame 3 would wait 24 ms > 20 ms: tail drop, and so on.
+	for i := 3; i < 6; i++ {
+		if !vs[i].Drop {
+			t.Errorf("frame %d not tail-dropped (delay %v)", i, vs[i].Delay)
+		}
+	}
+}
+
+func TestDuplicateAndCorrupt(t *testing.T) {
+	vs := judgeN(t, Duplicate(1.0, 2), 10, 10)
+	for i, v := range vs {
+		if v.Duplicates != 2 {
+			t.Fatalf("frame %d got %d duplicates, want 2", i, v.Duplicates)
+		}
+	}
+	vs = judgeN(t, Corrupt(1.0), 100, 10)
+	for i, v := range vs {
+		if len(v.FlipBits) != 1 {
+			t.Fatalf("frame %d got %d flips, want 1", i, len(v.FlipBits))
+		}
+		if bit := v.FlipBits[0]; bit < 0 || bit >= 80 {
+			t.Fatalf("frame %d flip bit %d outside payload", i, bit)
+		}
+	}
+}
+
+func TestPartitionToggle(t *testing.T) {
+	m, err := PartitionGate("split", false).build(NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.(*Partition)
+	var v Verdict
+	p.Judge(0, nil, &v)
+	if v.Drop {
+		t.Error("healed partition dropped a frame")
+	}
+	p.SetActive(true)
+	v = Verdict{}
+	p.Judge(0, nil, &v)
+	if !v.Drop {
+		t.Error("active partition passed a frame")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := RateLimit(0, 0).build(NewRand(1)); err == nil {
+		t.Error("rate-limit with zero rate built")
+	}
+	if _, err := (Spec{Kind: KindPartition}).build(NewRand(1)); err == nil {
+		t.Error("nameless partition built")
+	}
+	if _, err := (Spec{Kind: "bogus"}).build(NewRand(1)); err == nil {
+		t.Error("unknown kind built")
+	}
+	imp := Impairment{Link: LinkServerLAN, To: RoleSecondary, Models: []Spec{Corrupt(1)}}
+	if err := imp.validate(); err == nil {
+		t.Error("receive-side corruption accepted")
+	}
+	imp = Impairment{Link: LinkServerLAN, To: RoleSecondary, Models: []Spec{Bernoulli(0.1)}}
+	if err := imp.validate(); err != nil {
+		t.Errorf("receive-side loss rejected: %v", err)
+	}
+}

@@ -71,6 +71,70 @@ func (d *Durations) Mean() time.Duration {
 	return sum / time.Duration(len(d.samples))
 }
 
+// Floats collects float64 samples (rates, ratios) with the same
+// nearest-rank statistics as Durations.
+type Floats struct {
+	samples []float64
+}
+
+// Add records a sample.
+func (f *Floats) Add(v float64) { f.samples = append(f.samples, v) }
+
+// N returns the number of samples.
+func (f *Floats) N() int { return len(f.samples) }
+
+// Median returns the median sample (zero when empty).
+func (f *Floats) Median() float64 { return f.Percentile(50) }
+
+// Percentile returns the pth percentile using nearest-rank.
+func (f *Floats) Percentile(p float64) float64 {
+	if len(f.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(f.samples))
+	copy(s, f.samples)
+	sort.Float64s(s)
+	idx := int(float64(len(s)-1) * p / 100.0)
+	return s[idx]
+}
+
+// Max returns the largest sample (zero when empty).
+func (f *Floats) Max() float64 {
+	var m float64
+	for _, v := range f.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample (zero when empty).
+func (f *Floats) Min() float64 {
+	if len(f.samples) == 0 {
+		return 0
+	}
+	m := f.samples[0]
+	for _, v := range f.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (zero when empty).
+func (f *Floats) Mean() float64 {
+	if len(f.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range f.samples {
+		sum += v
+	}
+	return sum / float64(len(f.samples))
+}
+
 // RateKBps converts bytes transferred in elapsed time to KB/s (the paper's
 // unit, 1 KB = 1024 bytes).
 func RateKBps(bytes int64, elapsed time.Duration) float64 {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"tcpfailover/internal/fault"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/tcp"
@@ -32,6 +33,18 @@ func (t *Tracer) Attach(h *netstack.Host) {
 		fmt.Fprintf(t.w, "%12s %-9s %-2s %s\n", fmtTime(sched.Now()), name, dir,
 			Format(hdr, payload))
 	}
+}
+
+// AttachFaults subscribes the tracer to a fault set, so injected
+// impairments (drops, delays, duplicates, bit flips) appear inline with
+// the packet timeline, marked "!!". There is one fault set per scenario,
+// so this claims the set's single event observer.
+func (t *Tracer) AttachFaults(s *fault.Set) {
+	s.SetOnEvent(func(e fault.Event) {
+		t.count++
+		fmt.Fprintf(t.w, "%12s %-9s !! fault: %s by %s (%d bytes)\n",
+			fmtTime(e.Now), e.Link, e.Kind, e.Model, e.Size)
+	})
 }
 
 // Count returns the number of events traced.

@@ -5,20 +5,21 @@ import (
 	"time"
 
 	"tcpfailover"
-	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/fault"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/tcp"
 )
 
 // The paper's section 4 enumerates the places where message loss can occur
 // and how the failover extension must handle each. These tests inject one
-// targeted loss per case on a replicated echo connection and require the
-// transfer to complete byte-exact.
+// targeted loss per case — a fault.DropWhen model bound to the right link
+// and direction — on a replicated echo connection and require the transfer
+// to complete byte-exact.
 
-// frameIsTCPData reports whether the frame carries a TCP segment with
-// payload toward the given IP destination.
-func frameIsTCPData(f ethernet.Frame, dst ipv4.Addr) bool {
-	hdr, payload, err := ipv4.Unmarshal(f.Payload)
+// payloadIsTCPData reports whether the frame payload carries a TCP segment
+// with data toward the given IP destination.
+func payloadIsTCPData(p []byte, dst ipv4.Addr) bool {
+	hdr, payload, err := ipv4.Unmarshal(p)
 	if err != nil || hdr.Protocol != ipv4.ProtoTCP || hdr.Dst != dst {
 		return false
 	}
@@ -28,9 +29,10 @@ func frameIsTCPData(f ethernet.Frame, dst ipv4.Addr) bool {
 	return len(tcp.RawPayload(payload)) > 0
 }
 
-// runLossCase runs a replicated echo transfer with the given loss injector
-// installed once the stream is warmed up.
-func runLossCase(t *testing.T, arm func(sc *tcpfailover.Scenario, fired *int)) {
+// runLossCase runs a replicated echo transfer, arms the impairment arm
+// returns once the stream is warmed up, and requires a byte-exact transfer
+// with exactly one injected drop.
+func runLossCase(t *testing.T, arm func(sc *tcpfailover.Scenario) fault.Impairment) *tcpfailover.Scenario {
 	t.Helper()
 	sc := newEchoScenario(t, tcpfailover.LANOptions())
 	ec := startEchoClient(t, sc, 128*1024)
@@ -38,15 +40,17 @@ func runLossCase(t *testing.T, arm func(sc *tcpfailover.Scenario, fired *int)) {
 	if err := sc.RunUntil(func() bool { return ec.received > 16*1024 }, time.Minute); err != nil {
 		t.Fatalf("warm-up: %v", err)
 	}
-	fired := 0
-	arm(sc, &fired)
+	if err := sc.Faults.Impair(arm(sc)); err != nil {
+		t.Fatalf("impair: %v", err)
+	}
 	if err := sc.RunUntil(func() bool { return ec.closed }, 10*time.Minute); err != nil {
 		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
 	}
-	if fired == 0 {
-		t.Fatal("loss injector never fired")
+	if got := sc.Faults.Stats().Dropped; got != 1 {
+		t.Fatalf("injected drops = %d, want 1", got)
 	}
 	ec.check(t)
+	return sc
 }
 
 // Case 1: "The primary server does not receive a client segment m" — the
@@ -54,45 +58,40 @@ func runLossCase(t *testing.T, arm func(sc *tcpfailover.Scenario, fired *int)) {
 // a retransmission, and its own retransmitted reply is recognized by the
 // bridge and sent immediately.
 func TestLossCase1PrimaryDropsClientSegment(t *testing.T) {
-	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
-		primaryNIC := sc.Primary.Iface(0).NIC()
-		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
-			if *fired == 0 && dst == primaryNIC && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
-				*fired++
-				return true
-			}
-			return false
-		})
+	runLossCase(t, func(sc *tcpfailover.Scenario) fault.Impairment {
+		return fault.Impairment{
+			Link: fault.LinkServerLAN, To: fault.RolePrimary,
+			Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+				return payloadIsTCPData(p, tcpfailover.PrimaryAddr)
+			}, 1)},
+		}
 	})
 }
 
 // Case 2: "The secondary server drops the client segment although the
 // primary server receives it."
 func TestLossCase2SecondaryDropsClientSegment(t *testing.T) {
-	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
-		secondaryNIC := sc.Secondary.Iface(0).NIC()
-		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
-			if *fired == 0 && dst == secondaryNIC && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
-				*fired++
-				return true
-			}
-			return false
-		})
+	runLossCase(t, func(sc *tcpfailover.Scenario) fault.Impairment {
+		return fault.Impairment{
+			Link: fault.LinkServerLAN, To: fault.RoleSecondary,
+			Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+				return payloadIsTCPData(p, tcpfailover.PrimaryAddr)
+			}, 1)},
+		}
 	})
 }
 
-// Case 3: "A client segment is lost on its way to the servers" — neither
-// replica receives it; both retransmit their pending reply and the bridge
-// sends it twice.
+// Case 3: "A client segment is lost on its way to the servers" — a
+// transmit-side drop, so neither replica receives it; both retransmit their
+// pending reply and the bridge sends it twice.
 func TestLossCase3ClientSegmentLostOnWire(t *testing.T) {
-	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
-		sc.ServerLAN.SetDropTxFilter(func(f ethernet.Frame) bool {
-			if *fired == 0 && frameIsTCPData(f, tcpfailover.PrimaryAddr) {
-				*fired++
-				return true
-			}
-			return false
-		})
+	runLossCase(t, func(sc *tcpfailover.Scenario) fault.Impairment {
+		return fault.Impairment{
+			Link: fault.LinkServerLAN,
+			Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+				return payloadIsTCPData(p, tcpfailover.PrimaryAddr)
+			}, 1)},
+		}
 	})
 }
 
@@ -100,23 +99,18 @@ func TestLossCase3ClientSegmentLostOnWire(t *testing.T) {
 // diverted reply never reaches the bridge, so nothing goes to the client
 // until both replicas retransmit.
 func TestLossCase4DivertedSegmentDropped(t *testing.T) {
-	runLossCase(t, func(sc *tcpfailover.Scenario, fired *int) {
-		primaryNIC := sc.Primary.Iface(0).NIC()
-		sc.ServerLAN.SetDropRxFilter(func(dst *ethernet.NIC, f ethernet.Frame) bool {
-			if *fired > 0 || dst != primaryNIC {
-				return false
-			}
-			hdr, payload, err := ipv4.Unmarshal(f.Payload)
-			if err != nil || hdr.Protocol != ipv4.ProtoTCP ||
-				hdr.Src != tcpfailover.SecondaryAddr || len(payload) < tcp.HeaderLen {
-				return false
-			}
-			if len(tcp.RawPayload(payload)) == 0 {
-				return false
-			}
-			*fired++
-			return true
-		})
+	runLossCase(t, func(sc *tcpfailover.Scenario) fault.Impairment {
+		return fault.Impairment{
+			Link: fault.LinkServerLAN, From: fault.RoleSecondary, To: fault.RolePrimary,
+			Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+				hdr, payload, err := ipv4.Unmarshal(p)
+				if err != nil || hdr.Protocol != ipv4.ProtoTCP ||
+					hdr.Src != tcpfailover.SecondaryAddr || len(payload) < tcp.HeaderLen {
+					return false
+				}
+				return len(tcp.RawPayload(payload)) > 0
+			}, 1)},
+		}
 	})
 }
 
@@ -124,17 +118,14 @@ func TestLossCase4DivertedSegmentDropped(t *testing.T) {
 // Both replicas retransmit; the bridge forwards both copies.
 func TestLossCase5MergedSegmentLostTowardClient(t *testing.T) {
 	var before int64
-	var sc *tcpfailover.Scenario
-	runLossCase(t, func(s *tcpfailover.Scenario, fired *int) {
-		sc = s
-		before = s.Group.PrimaryBridge().Stats().RetransmissionsForwarded
-		s.ClientLink.SetDropTxFilter(func(f ethernet.Frame) bool {
-			if *fired == 0 && frameIsTCPData(f, tcpfailover.ClientAddr) {
-				*fired++
-				return true
-			}
-			return false
-		})
+	sc := runLossCase(t, func(sc *tcpfailover.Scenario) fault.Impairment {
+		before = sc.Group.PrimaryBridge().Stats().RetransmissionsForwarded
+		return fault.Impairment{
+			Link: fault.LinkClientLink,
+			Models: []fault.Spec{fault.DropWhen(func(p []byte) bool {
+				return payloadIsTCPData(p, tcpfailover.ClientAddr)
+			}, 1)},
+		}
 	})
 	// The bridge must have recognized at least one server retransmission
 	// ("the primary server bridge will send two copies of m to C").
@@ -147,15 +138,37 @@ func TestLossCase5MergedSegmentLostTowardClient(t *testing.T) {
 // random loss on both LANs — every section 4 case occurs repeatedly.
 func TestLossSustainedRandom(t *testing.T) {
 	opts := tcpfailover.LANOptions()
-	opts.ServerLAN.LossRate = 0.01
-	opts.ClientLink.LossRate = 0.01
+	opts.Faults = &fault.Plan{Impairments: []fault.Impairment{
+		{Link: fault.LinkServerLAN, Models: []fault.Spec{fault.Bernoulli(0.01)}},
+		{Link: fault.LinkClientLink, Models: []fault.Spec{fault.Bernoulli(0.01)}},
+	}}
 	sc := newEchoScenario(t, opts)
 	ec := startEchoClient(t, sc, 256*1024)
 	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
 		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
 	}
 	ec.check(t)
-	if sc.ServerLAN.Stats().Lost == 0 && sc.ClientLink.Stats().Lost == 0 {
+	if sc.Faults.Stats().Dropped == 0 {
+		t.Error("no loss actually occurred")
+	}
+}
+
+// TestLossSustainedBursty repeats the sustained-loss transfer through a
+// Gilbert–Elliott bursty channel, where consecutive losses defeat
+// single-retransmission recovery paths.
+func TestLossSustainedBursty(t *testing.T) {
+	opts := tcpfailover.LANOptions()
+	opts.Faults = &fault.Plan{Impairments: []fault.Impairment{
+		{Link: fault.LinkServerLAN, Models: []fault.Spec{fault.BurstyLoss(0.01)}},
+		{Link: fault.LinkClientLink, Models: []fault.Spec{fault.BurstyLoss(0.01)}},
+	}}
+	sc := newEchoScenario(t, opts)
+	ec := startEchoClient(t, sc, 256*1024)
+	if err := sc.RunUntil(func() bool { return ec.closed }, 30*time.Minute); err != nil {
+		t.Fatalf("run: %v (sent=%d received=%d)", err, ec.sent, ec.received)
+	}
+	ec.check(t)
+	if sc.Faults.Stats().Dropped == 0 {
 		t.Error("no loss actually occurred")
 	}
 }

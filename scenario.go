@@ -22,6 +22,7 @@ import (
 
 	"tcpfailover/internal/arp"
 	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/fault"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/replica"
@@ -82,6 +83,11 @@ type Options struct {
 	// replicated scenarios). Disable for microbenchmarks that want a quiet
 	// event queue.
 	StartDetectors *bool
+	// Faults declares seeded link impairments and a failure schedule (see
+	// internal/fault). Impairments are installed at build time; the
+	// schedule is armed by Start. Nil means a clean network — but
+	// Scenario.Faults still exists, so impairments can be added mid-run.
+	Faults *fault.Plan
 }
 
 // LANOptions returns the paper's LAN testbed: 100 Mbit/s Ethernet
@@ -127,7 +133,12 @@ type Scenario struct {
 	ServerLAN  *ethernet.Segment
 	ClientLink *ethernet.Segment
 
-	opts Options
+	// Faults manages the scenario's impairment injectors and partitions.
+	// It is always non-nil; Options.Faults pre-populates it.
+	Faults *fault.Set
+
+	opts          Options
+	scheduleArmed bool
 }
 
 // ErrTimeout is returned by RunUntil when the condition does not hold
@@ -204,7 +215,82 @@ func NewScenario(opts Options) (*Scenario, error) {
 	if !opts.ColdARP {
 		sc.warmARP(macC, macP, macS, macT, macR1, macR2)
 	}
+
+	serverStations := map[fault.Role]*ethernet.NIC{
+		fault.RoleRouter:  sc.Router.Iface(0).NIC(),
+		fault.RolePrimary: sc.Primary.Iface(0).NIC(),
+	}
+	if sc.Secondary != nil {
+		serverStations[fault.RoleSecondary] = sc.Secondary.Iface(0).NIC()
+	}
+	if sc.Tertiary != nil {
+		serverStations[fault.RoleTertiary] = sc.Tertiary.Iface(0).NIC()
+	}
+	topo := fault.Topology{
+		Links: map[fault.LinkID]*ethernet.Segment{
+			fault.LinkServerLAN:  sc.ServerLAN,
+			fault.LinkClientLink: sc.ClientLink,
+		},
+		Stations: map[fault.LinkID]map[fault.Role]*ethernet.NIC{
+			fault.LinkServerLAN: serverStations,
+			fault.LinkClientLink: {
+				fault.RoleClient: sc.Client.Iface(0).NIC(),
+				fault.RoleRouter: sc.Router.Iface(1).NIC(),
+			},
+		},
+	}
+	sc.Faults = fault.NewSet(sched, opts.Seed, topo)
+	if opts.Faults != nil {
+		if err := sc.Faults.Apply(opts.Faults.Impairments); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		for i, step := range opts.Faults.Schedule {
+			if err := sc.validateStep(step); err != nil {
+				return nil, fmt.Errorf("scenario: schedule step %d: %w", i, err)
+			}
+		}
+	}
 	return sc, nil
+}
+
+// validateStep rejects schedule steps the assembled topology cannot honor,
+// so misconfigured plans fail at build time rather than mid-run.
+func (sc *Scenario) validateStep(step fault.Step) error {
+	switch step.Op {
+	case fault.OpCrashPrimary:
+		return nil
+	case fault.OpCrashSecondary:
+		if sc.Secondary == nil {
+			return errors.New("crash-secondary in an unreplicated scenario")
+		}
+	case fault.OpCrashTertiary:
+		if sc.Tertiary == nil {
+			return errors.New("crash-tertiary without a tertiary replica")
+		}
+	case fault.OpPartition, fault.OpHeal:
+		if !sc.Faults.HasPartition(step.Arg) {
+			return fmt.Errorf("%s names unknown partition %q", step.Op, step.Arg)
+		}
+	default:
+		return fmt.Errorf("unknown op %q", step.Op)
+	}
+	return nil
+}
+
+// applyStep executes one failure-schedule step inside the event loop.
+func (sc *Scenario) applyStep(step fault.Step) {
+	switch step.Op {
+	case fault.OpCrashPrimary:
+		sc.Primary.Crash()
+	case fault.OpCrashSecondary:
+		sc.Secondary.Crash()
+	case fault.OpCrashTertiary:
+		sc.Tertiary.Crash()
+	case fault.OpPartition:
+		_ = sc.Faults.Partition(step.Arg)
+	case fault.OpHeal:
+		_ = sc.Faults.Heal(step.Arg)
+	}
 }
 
 func (sc *Scenario) warmARP(macC, macP, macS, macT, macR1, macR2 ethernet.MAC) {
@@ -230,9 +316,16 @@ func (sc *Scenario) warmARP(macC, macP, macS, macT, macR1, macR2 ethernet.MAC) {
 	}
 }
 
-// Start begins replication (fault detectors). Call after installing the
-// replicated applications.
+// Start begins replication (fault detectors) and arms the failure
+// schedule. Call after installing the replicated applications.
 func (sc *Scenario) Start() {
+	if sc.opts.Faults != nil && !sc.scheduleArmed {
+		sc.scheduleArmed = true
+		for _, step := range sc.opts.Faults.Schedule {
+			step := step
+			sc.Sched.At(step.At, "fault."+string(step.Op), func() { sc.applyStep(step) })
+		}
+	}
 	start := true
 	if sc.opts.StartDetectors != nil {
 		start = *sc.opts.StartDetectors
