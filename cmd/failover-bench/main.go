@@ -11,9 +11,10 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale]
 //	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
-//	               [-faultrates R1,R2,...] [-json]
+//	               [-faultrates R1,R2,...] [-connscale N1,N2,...] [-json]
+//	               [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 package main
 
 import (
@@ -21,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -34,19 +38,29 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
 		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
 		runs       = flag.Int("runs", 9, "failover-latency runs")
 		faultRates = flag.String("faultrates", "",
 			"comma-separated loss rates for the fault sweep (default 0,0.005,0.01,0.02,0.05)")
-		jsonOut = flag.Bool("json", false, "also write "+trajectoryFile)
-		workers = flag.Int("workers", bench.Workers, "simulation worker goroutines")
+		connScale = flag.String("connscale", "",
+			"comma-separated connection counts for the connection-scale sweep (default 100,1000,10000)")
+		jsonOut    = flag.Bool("json", false, "also write "+trajectoryFile)
+		workers    = flag.Int("workers", bench.Workers, "simulation worker goroutines")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	bench.Workers = *workers
 	rates, err := parseRates(*faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
+	counts, err := parseCounts(*connScale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
@@ -58,11 +72,81 @@ func main() {
 		Stream:      *stream,
 		Runs:        *runs,
 		FaultRates:  rates,
+		ConnScale:   counts,
 	}
-	if err := run(cfg, *jsonOut); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
+	runErr := run(cfg, *jsonOut)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", runErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles turns on the requested CPU profile and execution trace and
+// returns a function that stops them and writes the heap profile. Profiling
+// a run of -experiment connscale is the intended workflow for hot-path work:
+// the connection-scale sweep is the workload the optimisation targets.
+func startProfiles(cpu, mem, tr string) (func() error, error) {
+	var cpuF, trF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	if tr != "" {
+		f, err := os.Create(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		trF = f
+	}
+	return func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			first = cpuF.Close()
+		}
+		if trF != nil {
+			trace.Stop()
+			if err := trF.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 func run(cfg bench.Config, jsonOut bool) error {
@@ -94,6 +178,9 @@ func run(cfg bench.Config, jsonOut bool) error {
 	}
 	if r.FaultSweep != nil {
 		faultSweep(r.FaultSweep)
+	}
+	if r.ConnScale != nil {
+		connScaleOut(r.ConnScale)
 	}
 	if jsonOut {
 		blob, err := json.MarshalIndent(t, "", "  ")
@@ -213,6 +300,46 @@ func faultSweep(points []bench.FaultPoint) {
 	for _, p := range points {
 		fmt.Printf("%12s %8.3f %14v %14v %12.2f %8v %8d\n",
 			p.Model, p.Rate, p.StallMedian, p.StallMax, p.RecvKBps, p.AllIntact, p.Injected)
+	}
+	fmt.Println()
+}
+
+// parseCounts parses the -connscale flag; empty means the default sweep.
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -connscale entry %q (want a positive count)", p)
+		}
+		counts = append(counts, v)
+	}
+	return counts, nil
+}
+
+func connScaleOut(points []bench.ConnScalePoint) {
+	fmt.Println("=== E8: simulator hot-path cost vs connection count ===")
+	fmt.Println("(request/reply rounds across N concurrent failover connections;")
+	fmt.Println(" host-side cost per carried LAN frame in the steady state —")
+	fmt.Println(" targets: per-segment ns at 10k <= 1.5x the 100-conn cost,")
+	fmt.Println(" and ~0 allocations per segment)")
+	fmt.Printf("%8s %12s %14s %14s %12s\n",
+		"conns", "segments", "ns/segment", "allocs/seg", "ratio")
+	base := 0.0
+	for i, p := range points {
+		if i == 0 {
+			base = p.MedianNsPerSegment
+		}
+		ratio := "-"
+		if base > 0 && i > 0 {
+			ratio = fmt.Sprintf("%.2f", p.MedianNsPerSegment/base)
+		}
+		fmt.Printf("%8d %12d %14.0f %14.5f %12s\n",
+			p.Conns, p.Segments, p.MedianNsPerSegment, p.AllocsPerSegment, ratio)
 	}
 	fmt.Println()
 }

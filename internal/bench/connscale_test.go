@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestConnScaleSteadyStateAllocs is the allocation regression gate for the
+// connection-scale hot path (CI runs it on every push). In the measured
+// steady state — connections established, buffers pooled, timers recycling
+// through the wheel — the simulator must not allocate per segment; the
+// harness itself contributes a handful of per-batch allocations (runTo
+// closures, MemStats bookkeeping), so the per-segment quotient over
+// thousands of segments must stay far below one.
+func TestConnScaleSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate only means anything in a plain build")
+	}
+	pts, err := ConnScale([]int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.Segments == 0 || p.Rounds == 0 {
+		t.Fatalf("empty measurement: %+v", p)
+	}
+	// 0.01 allocs/segment = one allocation per hundred segments; a real
+	// per-segment allocation on any hot path shows up as >= 1.0.
+	if p.AllocsPerSegment >= 0.01 {
+		t.Errorf("steady-state allocations regressed: %.4f allocs/segment (want < 0.01)",
+			p.AllocsPerSegment)
+	}
+	if p.MedianNsPerSegment <= 0 {
+		t.Errorf("median ns/segment = %v, want > 0", p.MedianNsPerSegment)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/tcp"
 )
@@ -82,11 +83,7 @@ func (b *MiddleBridge) Active() bool { return b.active }
 func (b *MiddleBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
 	translated := false
 	if b.active && hdr.Dst == b.service && len(payload) >= tcp.HeaderLen {
-		key := TupleKey{
-			PeerAddr:  hdr.Src,
-			PeerPort:  tcp.RawSrcPort(payload),
-			LocalPort: tcp.RawDstPort(payload),
-		}
+		key := MakeTupleKey(hdr.Src, tcp.RawSrcPort(payload), tcp.RawDstPort(payload))
 		if b.sel.Match(key) {
 			// Secondary role: client segment snooped promiscuously.
 			tcp.PatchPseudoAddr(payload, b.service, b.self)
@@ -97,9 +94,9 @@ func (b *MiddleBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (ne
 			b.stats.SnoopedIn++
 			b.conns[key] = tcp.Tuple{
 				LocalAddr:  b.self,
-				LocalPort:  key.LocalPort,
-				RemoteAddr: key.PeerAddr,
-				RemotePort: key.PeerPort,
+				LocalPort:  key.LocalPort(),
+				RemoteAddr: key.PeerAddr(),
+				RemotePort: key.PeerPort(),
 			}
 			// Fall through into the primary role, which translates the
 			// acknowledgment into this TCP layer's sequence space and
@@ -118,19 +115,24 @@ func (b *MiddleBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (ne
 
 // divertMerged forwards a merged client-bound segment up the chain with
 // the original-destination option, exactly as a plain secondary would.
-func (b *MiddleBridge) divertMerged(client ipv4.Addr, raw []byte) {
+func (b *MiddleBridge) divertMerged(client ipv4.Addr, pkt *netbuf.Buffer) {
 	if !b.active {
 		// Promoted: the merged stream goes straight to the client.
-		_ = b.host.SendIPFast(b.pb.LocalAddr(), client, ipv4.ProtoTCP, raw)
+		_ = b.host.SendIPFastBuf(b.pb.LocalAddr(), client, ipv4.ProtoTCP, pkt)
 		return
 	}
-	out, err := tcp.InsertOrigDstOption(raw, client)
+	var opt [8]byte
+	tcp.OrigDstOptionBlock(&opt, client)
+	out := netbuf.Get()
+	diverted, err := tcp.AppendOrigDstOption(out, pkt.Bytes(), &opt)
+	pkt.Release()
 	if err != nil {
+		out.Release()
 		return // header full; upstream recovers by retransmission
 	}
-	tcp.PatchPseudoAddr(out, client, b.head)
+	tcp.PatchPseudoAddr(diverted, client, b.head)
 	b.stats.DivertedOut++
-	_ = b.host.SendIPFast(b.self, b.head, ipv4.ProtoTCP, out)
+	_ = b.host.SendIPFastBuf(b.self, b.head, ipv4.ProtoTCP, out)
 }
 
 // PromoteToHead runs the section 5 takeover for the middle server when the

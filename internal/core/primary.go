@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/sim"
 	"tcpfailover/internal/tcp"
@@ -108,10 +109,19 @@ type PrimaryBridge struct {
 	conns    map[TupleKey]*pconn
 	degraded bool // after secondary failure (section 6)
 
-	// emit transports a finished client-bound segment. The default sends
-	// it directly; a daisy-chained middle server overrides it to divert
-	// the merged stream to its own upstream primary.
-	emit func(client ipv4.Addr, raw []byte)
+	// emit transports a finished client-bound segment, taking ownership of
+	// the packet buffer. The default sends it directly; a daisy-chained
+	// middle server overrides it to divert the merged stream to its own
+	// upstream primary.
+	emit func(client ipv4.Addr, pkt *netbuf.Buffer)
+
+	// emitSeg and emitPayload are reusable scratch for the steady-state
+	// emit paths: pump and the retransmission forwarding build each
+	// outgoing segment in place instead of allocating one per segment.
+	// Safe because emitToClient marshals into a packet buffer before
+	// returning, so nothing aliases the scratch across segments.
+	emitSeg     tcp.Segment
+	emitPayload []byte
 
 	stats PrimaryStats
 	// OnDivergence, if set, is called when replica outputs differ.
@@ -139,8 +149,8 @@ func NewPrimaryBridgeCore(host *netstack.Host, primaryAddr, secondaryAddr ipv4.A
 		cfg:   cfg.withDefaults(),
 		conns: make(map[TupleKey]*pconn),
 	}
-	b.emit = func(client ipv4.Addr, raw []byte) {
-		_ = b.host.SendIPFast(b.aP, client, ipv4.ProtoTCP, raw)
+	b.emit = func(client ipv4.Addr, pkt *netbuf.Buffer) {
+		_ = b.host.SendIPFastBuf(b.aP, client, ipv4.ProtoTCP, pkt)
 	}
 	return b
 }
@@ -157,7 +167,9 @@ func (b *PrimaryBridge) Outbound(src, dst ipv4.Addr, segment []byte) bool {
 }
 
 // SetEmitFunc overrides the transport for finished client-bound segments.
-func (b *PrimaryBridge) SetEmitFunc(f func(client ipv4.Addr, raw []byte)) { b.emit = f }
+// The function takes ownership of the packet buffer and must release it or
+// pass it on.
+func (b *PrimaryBridge) SetEmitFunc(f func(client ipv4.Addr, pkt *netbuf.Buffer)) { b.emit = f }
 
 // SetLocalAddr re-keys the bridge's client-facing address; a promoted
 // middle server switches to the failed head's address during takeover.
@@ -193,13 +205,16 @@ func (b *PrimaryBridge) conn(key TupleKey) *pconn {
 // --- outbound: segments from the primary's own TCP layer --------------------
 
 func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
-	key := TupleKey{PeerAddr: dst, PeerPort: tcp.RawDstPort(segment), LocalPort: tcp.RawSrcPort(segment)}
-	if !b.sel.Match(key) {
+	key := MakeTupleKey(dst, tcp.RawDstPort(segment), tcp.RawSrcPort(segment))
+	// Steady state is a single map hit: a tracked connection implies the
+	// selector matched when the record was created, so the (up to three
+	// probe) selector runs only on a conns miss.
+	c, exists := b.conns[key]
+	if !exists && !b.sel.Match(key) {
 		return false
 	}
 	b.stats.SegmentsFromPrimary++
 	flags := tcp.RawFlags(segment)
-	c, exists := b.conns[key]
 	if !exists {
 		// Only a SYN may create bridge state (a server-initiated
 		// connection, section 7.2). Anything else for an unknown
@@ -291,12 +306,13 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 	if hdr.Dst != b.aP {
 		// Segments diverted to another address this host owns (a chain
 		// promotion in flight) still belong to the demultiplexer; anything
-		// else is not ours.
-		if _, _, ok := tcp.StripOrigDstOption(payload); ok && b.host.Owns(hdr.Dst) {
+		// else is not ours. The checksum must be verified before the strip:
+		// the in-place strip cancels corrupted option bytes out of the sum.
+		if tcp.HasOrigDstOption(payload) && b.host.Owns(hdr.Dst) {
 			if !b.verifyDiverted(hdr, payload) {
 				return netstack.VerdictDrop, hdr, payload
 			}
-			if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
+			if stripped, orig, ok := tcp.StripOrigDstOptionInPlace(payload); ok {
 				if !b.degraded {
 					b.fromSecondary(orig, stripped)
 				}
@@ -305,25 +321,29 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		}
 		return netstack.VerdictPass, hdr, payload
 	}
-	if stripped, orig, ok := tcp.StripOrigDstOption(payload); ok {
-		// Demultiplexer: a diverted segment from the secondary.
+	if tcp.HasOrigDstOption(payload) {
+		// Demultiplexer: a diverted segment from the secondary. The payload
+		// is this station's private copy, so the option is stripped in
+		// place — no per-segment copy.
 		if !b.verifyDiverted(hdr, payload) {
 			return netstack.VerdictDrop, hdr, payload
 		}
+		stripped, orig, _ := tcp.StripOrigDstOptionInPlace(payload)
 		if !b.degraded {
 			b.fromSecondary(orig, stripped)
 		}
 		return netstack.VerdictDrop, hdr, payload
 	}
 
-	// A client segment.
-	key := TupleKey{PeerAddr: hdr.Src, PeerPort: tcp.RawSrcPort(payload), LocalPort: tcp.RawDstPort(payload)}
-	if !b.sel.Match(key) {
-		return netstack.VerdictPass, hdr, payload
-	}
+	// A client segment. A tracked connection implies a past selector match,
+	// so steady state is one map hit.
+	key := MakeTupleKey(hdr.Src, tcp.RawSrcPort(payload), tcp.RawDstPort(payload))
 	flags := tcp.RawFlags(payload)
 	c, exists := b.conns[key]
 	if !exists {
+		if !b.sel.Match(key) {
+			return netstack.VerdictPass, hdr, payload
+		}
 		switch {
 		case flags.Has(tcp.FlagSYN) && !flags.Has(tcp.FlagACK):
 			c = b.conn(key) // new client-initiated connection
@@ -331,7 +351,7 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		case flags.Has(tcp.FlagFIN):
 			// Retransmitted FIN after the bridge deleted the connection:
 			// acknowledge it directly (section 8).
-			b.synthesizeAck(key.PeerAddr, key.PeerPort, b.aP, key.LocalPort,
+			b.synthesizeAck(key.PeerAddr(), key.PeerPort(), b.aP, key.LocalPort(),
 				tcp.RawAck(payload),
 				tcp.RawSeq(payload).Add(len(tcp.RawPayload(payload))+1))
 			b.stats.LateFinAcks++
@@ -368,12 +388,14 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 			// bridge answers directly (the duplicate-ACK analogue of the
 			// section 4 retransmission forwarding).
 			b.stats.EmptyAcks++
-			b.emitToClient(c, &tcp.Segment{
+			out := &b.emitSeg
+			*out = tcp.Segment{
 				Seq:    c.sndMax,
 				Ack:    c.minAck(b.degraded),
 				Flags:  tcp.FlagACK,
 				Window: c.minWin(b.degraded),
-			})
+			}
+			b.emitToClient(c, out)
 		}
 	}
 	b.maybeGC(c)
@@ -404,14 +426,16 @@ func (b *PrimaryBridge) forwardDegraded(c *pconn, sSeq tcp.Seq, segment []byte, 
 		c.lastWinSent = tcp.RawWindow(segment)
 	}
 	b.stats.SegmentsToClient++
-	b.emit(c.key.PeerAddr, segment)
+	// The segment slice is borrowed from the outbound hook; the emit
+	// function takes ownership of its argument, so hand it a pooled copy.
+	b.emit(c.key.PeerAddr(), netbuf.From(segment))
 }
 
 // fromSecondary processes a diverted segment whose original destination was
 // orig (the client address).
 func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
 	b.stats.SegmentsFromSecondary++
-	key := TupleKey{PeerAddr: orig, PeerPort: tcp.RawDstPort(segment), LocalPort: tcp.RawSrcPort(segment)}
+	key := MakeTupleKey(orig, tcp.RawDstPort(segment), tcp.RawSrcPort(segment))
 	flags := tcp.RawFlags(segment)
 	c, exists := b.conns[key]
 	if !exists {
@@ -425,7 +449,7 @@ func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
 			if flags.Has(tcp.FlagFIN) {
 				end = end.Add(1)
 			}
-			b.synthesizeAck(orig, key.PeerPort, b.aS, key.LocalPort,
+			b.synthesizeAck(orig, key.PeerPort(), b.aS, key.LocalPort(),
 				tcp.RawAck(segment), end)
 			b.stats.LateFinAcks++
 			return
@@ -497,12 +521,15 @@ func (b *PrimaryBridge) ingestServerSegment(c *pconn, sSeq tcp.Seq, payload []by
 		// A retransmission of bytes already released: the bridge receives
 		// only a single copy, so it must send it immediately (section 4).
 		b.stats.RetransmissionsForwarded++
-		out := &tcp.Segment{
+		// payload aliases the inbound frame's private copy; emitToClient
+		// marshals it into a packet buffer before returning, so no copy.
+		out := &b.emitSeg
+		*out = tcp.Segment{
 			Seq:     sSeq,
 			Ack:     c.minAck(b.degraded),
 			Flags:   tcp.FlagACK | tcp.FlagPSH,
 			Window:  c.minWin(b.degraded),
-			Payload: append([]byte(nil), payload...),
+			Payload: payload,
 		}
 		if flags.Has(tcp.FlagFIN) {
 			out.Flags |= tcp.FlagFIN
@@ -537,18 +564,21 @@ func (b *PrimaryBridge) pump(c *pconn) {
 					b.OnDivergence(c.key, c.sndMax)
 				}
 			}
-			payload := append([]byte(nil), sb[:n]...)
+			// The queue block may be recycled by Advance, so the released
+			// bytes move into the bridge's reusable scratch first.
+			b.emitPayload = append(b.emitPayload[:0], sb[:n]...)
 			seq := c.sndMax
 			c.pq.Advance(n)
 			c.sq.Advance(n)
 			c.sndMax = c.sndMax.Add(n)
 			b.stats.BytesMatched += int64(n)
-			out := &tcp.Segment{
+			out := &b.emitSeg
+			*out = tcp.Segment{
 				Seq:     seq,
 				Ack:     c.minAck(false),
 				Flags:   tcp.FlagACK | tcp.FlagPSH,
 				Window:  c.minWin(false),
-				Payload: payload,
+				Payload: b.emitPayload,
 			}
 			if b.finsMatchedAt(c, c.sndMax) && c.pq.Len() == 0 && c.sq.Len() == 0 {
 				out.Flags |= tcp.FlagFIN
@@ -560,7 +590,8 @@ func (b *PrimaryBridge) pump(c *pconn) {
 			continue
 		}
 		if b.finsMatchedAt(c, c.sndMax) && !c.finSent {
-			out := &tcp.Segment{
+			out := &b.emitSeg
+			*out = tcp.Segment{
 				Seq:    c.sndMax,
 				Ack:    c.minAck(false),
 				Flags:  tcp.FlagACK | tcp.FlagFIN,
@@ -628,12 +659,14 @@ func (b *PrimaryBridge) maybeEmitAck(c *pconn) {
 		return
 	}
 	b.stats.EmptyAcks++
-	b.emitToClient(c, &tcp.Segment{
+	out := &b.emitSeg
+	*out = tcp.Segment{
 		Seq:    c.sndMax,
 		Ack:    minAck,
 		Flags:  tcp.FlagACK,
 		Window: minWin,
-	})
+	}
+	b.emitToClient(c, out)
 }
 
 // maybeSendCombinedSyn emits the SYN (or SYN-ACK) the client sees, once
@@ -700,16 +733,20 @@ func (b *PrimaryBridge) forwardRST(c *pconn, segment []byte, fromPrimary bool) {
 }
 
 func (b *PrimaryBridge) emitToClient(c *pconn, seg *tcp.Segment) {
-	seg.SrcPort = c.key.LocalPort
-	seg.DstPort = c.key.PeerPort
-	raw := tcp.Marshal(b.aP, c.key.PeerAddr, seg)
+	seg.SrcPort = c.key.LocalPort()
+	seg.DstPort = c.key.PeerPort()
+	// Marshal straight into a pooled packet buffer: one copy of the
+	// payload, and the emit function forwards the buffer without another.
+	pkt := netbuf.Get()
+	copy(tcp.MarshalReserve(pkt, seg, len(seg.Payload)), seg.Payload)
+	tcp.SealChecksum(b.aP, c.key.PeerAddr(), pkt.Bytes())
 	b.stats.SegmentsToClient++
 	if seg.Flags.Has(tcp.FlagACK) {
 		c.lastAckSent = seg.Ack
 		c.lastAckValid = true
 		c.lastWinSent = seg.Window
 	}
-	b.emit(c.key.PeerAddr, raw)
+	b.emit(c.key.PeerAddr(), pkt)
 }
 
 // synthesizeAck builds and sends a bare acknowledgment on behalf of a
@@ -717,7 +754,8 @@ func (b *PrimaryBridge) emitToClient(c *pconn, seg *tcp.Segment) {
 // srcAddr as its source, which lets the bridge answer the secondary's FIN
 // retransmissions as if the client had.
 func (b *PrimaryBridge) synthesizeAck(srcAddr ipv4.Addr, srcPort uint16, dstAddr ipv4.Addr, dstPort uint16, seq, ack tcp.Seq) {
-	seg := &tcp.Segment{
+	seg := &b.emitSeg
+	*seg = tcp.Segment{
 		SrcPort: srcPort,
 		DstPort: dstPort,
 		Seq:     seq,
@@ -725,8 +763,10 @@ func (b *PrimaryBridge) synthesizeAck(srcAddr ipv4.Addr, srcPort uint16, dstAddr
 		Flags:   tcp.FlagACK,
 		Window:  65535,
 	}
-	raw := tcp.Marshal(srcAddr, dstAddr, seg)
-	_ = b.host.SendIPFast(srcAddr, dstAddr, ipv4.ProtoTCP, raw)
+	pkt := netbuf.Get()
+	tcp.MarshalReserve(pkt, seg, 0)
+	tcp.SealChecksum(srcAddr, dstAddr, pkt.Bytes())
+	_ = b.host.SendIPFastBuf(srcAddr, dstAddr, ipv4.ProtoTCP, pkt)
 }
 
 // maybeGC deletes the connection record once both directions are fully

@@ -6,6 +6,7 @@ import (
 
 	"tcpfailover/internal/ethernet"
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/sim"
 	"tcpfailover/internal/tcp"
@@ -46,7 +47,9 @@ func newPriFixture(t *testing.T) *priFixture {
 	sel.EnableServerPort(80)
 	f.b = NewPrimaryBridge(f.host, f.aP, f.aS, sel, PrimaryConfig{})
 	// Capture emissions without touching the wire.
-	f.b.SetEmitFunc(func(client ipv4.Addr, raw []byte) {
+	f.b.SetEmitFunc(func(client ipv4.Addr, pkt *netbuf.Buffer) {
+		raw := append([]byte(nil), pkt.Bytes()...)
+		pkt.Release()
 		s, err := tcp.Unmarshal(f.aP, client, raw, true)
 		if err != nil {
 			t.Fatalf("bridge emitted an invalid segment: %v", err)

@@ -38,6 +38,10 @@ func (q *byteQueue) newBlockData(payload []byte) []byte {
 type qblock struct {
 	seq  tcp.Seq
 	data []byte
+	// shared marks a block whose backing array is split between two list
+	// entries (an insert split around an existing block). Shared storage
+	// must never be retired to the spare slot while its sibling may live.
+	shared bool
 }
 
 func (b qblock) end() tcp.Seq { return b.seq.Add(len(b.data)) }
@@ -97,13 +101,19 @@ func (q *byteQueue) Insert(seq tcp.Seq, payload []byte) {
 			out = append(out, blk)
 		default:
 			if nb.seq.Less(blk.seq) {
-				left := qblock{seq: nb.seq, data: nb.data[:blk.seq.Diff(nb.seq)]}
+				left := qblock{seq: nb.seq, data: nb.data[:blk.seq.Diff(nb.seq)], shared: nb.shared}
+				if nb.end().Greater(blk.end()) {
+					// The remainder survives past blk too: the two pieces
+					// alias one array.
+					left.shared = true
+				}
 				out = append(out, left)
 				q.bytes += len(left.data)
 			}
 			out = append(out, blk)
 			if nb.end().Greater(blk.end()) {
-				nb = qblock{seq: blk.end(), data: nb.data[blk.end().Diff(nb.seq):]}
+				shared := nb.shared || nb.seq.Less(blk.seq)
+				nb = qblock{seq: blk.end(), data: nb.data[blk.end().Diff(nb.seq):], shared: shared}
 			} else {
 				nb.data = nil
 				inserted = true
@@ -150,7 +160,10 @@ func (q *byteQueue) Advance(n int) {
 	for _, blk := range q.blocks {
 		if blk.end().Leq(q.floor) {
 			q.bytes -= len(blk.data)
-			if cap(blk.data) > cap(spare) {
+			// Retire the largest fully drained block's storage for reuse.
+			// Split-aliased blocks are excluded: their array may still back
+			// a surviving sibling.
+			if !blk.shared && cap(blk.data) > cap(spare) {
 				spare = blk.data[:0]
 			}
 			continue
@@ -158,15 +171,12 @@ func (q *byteQueue) Advance(n int) {
 		if blk.seq.Less(q.floor) {
 			cut := q.floor.Diff(blk.seq)
 			q.bytes -= cut
-			blk = qblock{seq: q.floor, data: blk.data[cut:]}
+			blk = qblock{seq: q.floor, data: blk.data[cut:], shared: blk.shared}
 		}
 		out = append(out, blk)
 	}
 	q.blocks = out
-	// Retire storage for reuse only once the queue is empty: blocks split
-	// around an overlap can share one backing array, so a discarded block's
-	// bytes may still be live while any block survives.
-	if len(out) == 0 && cap(spare) > cap(q.spare) {
+	if cap(spare) > cap(q.spare) {
 		q.spare = spare
 	}
 }

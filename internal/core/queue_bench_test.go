@@ -13,6 +13,7 @@ func BenchmarkByteQueueMatch(b *testing.B) {
 	const chunkP, chunkS = 1460, 1452
 	payloadP := make([]byte, chunkP)
 	payloadS := make([]byte, chunkS)
+	b.ReportAllocs()
 	for b.Loop() {
 		pq := newByteQueue(0)
 		sq := newByteQueue(0)
@@ -42,6 +43,7 @@ func BenchmarkByteQueueMatch(b *testing.B) {
 // queue's worst case.
 func BenchmarkByteQueueOutOfOrder(b *testing.B) {
 	payload := make([]byte, 1452)
+	b.ReportAllocs()
 	for b.Loop() {
 		q := newByteQueue(0)
 		// Insert 32 segments in reverse, then drain.
@@ -51,4 +53,80 @@ func BenchmarkByteQueueOutOfOrder(b *testing.B) {
 		q.Advance(32 * 1452)
 	}
 	b.SetBytes(32 * 1452)
+}
+
+// BenchmarkByteQueuePartialDrain exercises the spare-retention fix: every
+// round retires one block while another survives, so without the retained
+// spare each round's gap insert would allocate fresh block storage.
+func BenchmarkByteQueuePartialDrain(b *testing.B) {
+	payload := make([]byte, 1452)
+	b.ReportAllocs()
+	for b.Loop() {
+		q := newByteQueue(0)
+		next := tcp.Seq(0)
+		for i := 0; i < 32; i++ {
+			q.Insert(next.Add(1452), payload) // arrives first, past a gap
+			q.Insert(next, payload)           // fills the gap via a rebuild
+			q.Advance(1452 + 726)             // retire one block, keep half the other
+			q.Advance(726)
+			next = next.Add(2 * 1452)
+		}
+	}
+	b.SetBytes(32 * 2 * 1452)
+}
+
+// TestByteQueueSpareSurvivesPartialDrain asserts the fix benchmarked above:
+// a fully drained, unshared block is retired to the spare slot even while
+// other blocks survive, and the next insert needing fresh storage reuses it
+// without allocating.
+func TestByteQueueSpareSurvivesPartialDrain(t *testing.T) {
+	payload := make([]byte, 1452)
+	q := newByteQueue(0)
+	q.Insert(1452, payload) // out of order: [1452, 2904)
+	q.Insert(0, payload)    // fills the front: [0, 1452)
+	q.Advance(1452 + 726)   // retire the first block; half the second survives
+	if q.Len() != 726 {
+		t.Fatalf("Len = %d after partial drain, want 726", q.Len())
+	}
+	if cap(q.spare) < 1452 {
+		t.Fatalf("retired block not kept as spare (cap %d); a survivor must not block reuse", cap(q.spare))
+	}
+	spare := q.spare[:1]
+	q.Insert(4096, payload) // past a gap: must consume the spare
+	if q.spare != nil {
+		t.Fatal("gap insert did not consume the spare")
+	}
+	if last := q.blocks[len(q.blocks)-1].data; &last[0] != &spare[0] {
+		t.Fatal("gap insert allocated fresh storage instead of the spare")
+	}
+}
+
+// TestByteQueueSharedBlocksNotRetired asserts the safety side of the fix: a
+// block whose storage is split-aliased with a surviving sibling must not be
+// retired, or the sibling's bytes could be overwritten by a later insert.
+func TestByteQueueSharedBlocksNotRetired(t *testing.T) {
+	q := newByteQueue(0)
+	mid := make([]byte, 100)
+	for i := range mid {
+		mid[i] = 0xAA
+	}
+	q.Insert(100, mid)
+	wide := make([]byte, 300)
+	for i := range wide {
+		wide[i] = byte(i)
+	}
+	q.Insert(0, wide) // splits around [100, 200): both pieces share one array
+	q.Advance(200)    // retire the left piece and mid; right piece survives
+	// mid's unshared 100-byte block may be retired; the split 300-byte
+	// array backing the surviving right piece must not be.
+	if cap(q.spare) > 100 {
+		t.Fatalf("split-aliased storage retired as spare (cap %d)", cap(q.spare))
+	}
+	q.Insert(500, make([]byte, 64)) // would scribble on the survivor if aliased
+	got := q.Contiguous()
+	for i, b := range got[:100] {
+		if b != byte(200+i) {
+			t.Fatalf("surviving split block corrupted at %d: got %#x want %#x", i, b, byte(200+i))
+		}
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
 	"tcpfailover/internal/tcp"
 )
@@ -41,8 +42,49 @@ type SecondaryBridge struct {
 	// conns tracks the failover connections established under aS so they
 	// can be re-keyed to aP at takeover.
 	conns map[TupleKey]tcp.Tuple
+	// flows caches the per-tuple snoop/divert decision: the selector
+	// verdict and, for failover flows, the precomputed original-destination
+	// option block. Both hooks normalize a segment to the same TupleKey, so
+	// steady-state segments in either direction pay a single map hit
+	// instead of up to three selector probes plus a conns write. Entries
+	// self-invalidate when the selector configuration changes.
+	flows map[TupleKey]*sflow
 
 	stats SecondaryStats
+}
+
+// sflow is a cached per-flow decision of the secondary bridge.
+type sflow struct {
+	gen   uint64 // selector generation the verdict was computed under
+	match bool
+	opt   [8]byte // orig-dst option block carrying the client address
+}
+
+// flow returns the cached decision for key, classifying the flow on first
+// sight (or after a selector change): the verdict is computed, the option
+// block prebuilt, and — for failover flows — the connection recorded for
+// takeover re-keying.
+func (b *SecondaryBridge) flow(key TupleKey) *sflow {
+	f := b.flows[key]
+	if f != nil && f.gen == b.sel.Gen() {
+		return f
+	}
+	if f == nil {
+		f = &sflow{}
+		b.flows[key] = f
+	}
+	f.gen = b.sel.Gen()
+	f.match = b.sel.Match(key)
+	if f.match {
+		tcp.OrigDstOptionBlock(&f.opt, key.PeerAddr())
+		b.conns[key] = tcp.Tuple{
+			LocalAddr:  b.aS,
+			LocalPort:  key.LocalPort(),
+			RemoteAddr: key.PeerAddr(),
+			RemotePort: key.PeerPort(),
+		}
+	}
+	return f
 }
 
 // NewSecondaryBridge installs the bridge on host's interface ifIndex. The
@@ -57,6 +99,7 @@ func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondary
 		sel:      sel,
 		active:   true,
 		conns:    make(map[TupleKey]tcp.Tuple),
+		flows:    make(map[TupleKey]*sflow),
 	}
 	host.Iface(ifIndex).NIC().SetPromiscuous(true)
 	host.SetInboundHook(b.inbound)
@@ -76,12 +119,8 @@ func (b *SecondaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) 
 	if !b.active || hdr.Dst != b.aP || len(payload) < tcp.HeaderLen {
 		return netstack.VerdictPass, hdr, payload
 	}
-	key := TupleKey{
-		PeerAddr:  hdr.Src,
-		PeerPort:  tcp.RawSrcPort(payload),
-		LocalPort: tcp.RawDstPort(payload),
-	}
-	if !b.sel.Match(key) {
+	key := MakeTupleKey(hdr.Src, tcp.RawSrcPort(payload), tcp.RawDstPort(payload))
+	if !b.flow(key).match {
 		return netstack.VerdictPass, hdr, payload
 	}
 	// The payload is this station's private copy of the bits; patch the
@@ -94,12 +133,6 @@ func (b *SecondaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) 
 		tcp.ClampRawMSS(payload, origDstOptionLen)
 	}
 	b.stats.SnoopedIn++
-	b.conns[key] = tcp.Tuple{
-		LocalAddr:  b.aS,
-		LocalPort:  key.LocalPort,
-		RemoteAddr: key.PeerAddr,
-		RemotePort: key.PeerPort,
-	}
 	return netstack.VerdictDeliver, hdr, payload
 }
 
@@ -109,29 +142,25 @@ func (b *SecondaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	if !b.active {
 		return false
 	}
-	key := TupleKey{
-		PeerAddr:  dst,
-		PeerPort:  tcp.RawDstPort(segment),
-		LocalPort: tcp.RawSrcPort(segment),
-	}
-	if !b.sel.Match(key) {
+	key := MakeTupleKey(dst, tcp.RawDstPort(segment), tcp.RawSrcPort(segment))
+	f := b.flow(key)
+	if !f.match {
 		return false
 	}
-	b.conns[key] = tcp.Tuple{
-		LocalAddr:  src,
-		LocalPort:  key.LocalPort,
-		RemoteAddr: dst,
-		RemotePort: key.PeerPort,
-	}
-	out, err := tcp.InsertOrigDstOption(segment, dst)
+	// Build the diverted segment straight into a pooled packet buffer: the
+	// flow's precomputed option block is appended to the header copy and
+	// the buffer is handed to the stack without a further copy.
+	pkt := netbuf.Get()
+	out, err := tcp.AppendOrigDstOption(pkt, segment, &f.opt)
 	if err != nil {
 		// Header options full; fall back to dropping (TCP will retransmit).
+		pkt.Release()
 		return true
 	}
 	// The checksum must reflect the new pseudo-header destination.
 	tcp.PatchPseudoAddr(out, dst, b.upstream)
 	b.stats.DivertedOut++
-	_ = b.host.SendIPFast(src, b.upstream, ipv4.ProtoTCP, out)
+	_ = b.host.SendIPFastBuf(src, b.upstream, ipv4.ProtoTCP, pkt)
 	return true
 }
 

@@ -22,12 +22,27 @@ import "tcpfailover/internal/ipv4"
 
 // TupleKey identifies a replicated connection from the bridge's viewpoint:
 // the unreplicated peer endpoint (the client, or the back-end server T for
-// server-initiated connections) plus the replicated server's port.
-type TupleKey struct {
-	PeerAddr  ipv4.Addr
-	PeerPort  uint16
-	LocalPort uint16
+// server-initiated connections) plus the replicated server's port, packed
+// addr<<32 | peerPort<<16 | localPort. The packing fills the word exactly
+// (32+16+16 bits), so it is collision-free; a plain uint64 key routes the
+// bridges' per-segment map lookups through the runtime's fast64 access
+// paths, which a same-sized struct key does not get.
+type TupleKey uint64
+
+// MakeTupleKey packs a peer endpoint and replicated-server port into a
+// TupleKey.
+func MakeTupleKey(peer ipv4.Addr, peerPort, localPort uint16) TupleKey {
+	return TupleKey(uint64(peer)<<32 | uint64(peerPort)<<16 | uint64(localPort))
 }
+
+// PeerAddr returns the unreplicated peer's address.
+func (k TupleKey) PeerAddr() ipv4.Addr { return ipv4.Addr(k >> 32) }
+
+// PeerPort returns the unreplicated peer's port.
+func (k TupleKey) PeerPort() uint16 { return uint16(k >> 16) }
+
+// LocalPort returns the replicated server's port.
+func (k TupleKey) LocalPort() uint16 { return uint16(k) }
 
 // Selector decides which TCP connections are failover connections. The
 // paper implements two methods (section 7): a per-socket option, and a
@@ -40,6 +55,10 @@ type Selector struct {
 	serverPorts map[uint16]bool
 	peerPorts   map[uint16]bool
 	tuples      map[TupleKey]bool
+	// gen counts configuration changes so per-flow verdict caches (the
+	// secondary bridge's) can self-invalidate instead of re-probing the
+	// three maps on every snooped segment.
+	gen uint64
 }
 
 // NewSelector returns an empty selector.
@@ -53,24 +72,28 @@ func NewSelector() *Selector {
 
 // EnableServerPort marks every connection whose replicated-server port is p
 // as a failover connection (paper's method 2, for server sockets).
-func (s *Selector) EnableServerPort(p uint16) { s.serverPorts[p] = true }
+func (s *Selector) EnableServerPort(p uint16) { s.serverPorts[p] = true; s.gen++ }
 
 // EnablePeerPort marks every connection toward remote port p as a failover
 // connection; used for server-initiated connections to an unreplicated
 // back-end (paper section 7.2).
-func (s *Selector) EnablePeerPort(p uint16) { s.peerPorts[p] = true }
+func (s *Selector) EnablePeerPort(p uint16) { s.peerPorts[p] = true; s.gen++ }
 
 // EnableTuple marks one specific connection (paper's method 1, the
 // per-socket option).
-func (s *Selector) EnableTuple(k TupleKey) { s.tuples[k] = true }
+func (s *Selector) EnableTuple(k TupleKey) { s.tuples[k] = true; s.gen++ }
 
 // DisableServerPort removes a server port from the set.
-func (s *Selector) DisableServerPort(p uint16) { delete(s.serverPorts, p) }
+func (s *Selector) DisableServerPort(p uint16) { delete(s.serverPorts, p); s.gen++ }
+
+// Gen returns the configuration generation; it changes whenever the
+// selection rules do.
+func (s *Selector) Gen() uint64 { return s.gen }
 
 // Match reports whether a connection identified by k is a failover
 // connection.
 func (s *Selector) Match(k TupleKey) bool {
-	return s.serverPorts[k.LocalPort] || s.peerPorts[k.PeerPort] || s.tuples[k]
+	return s.serverPorts[k.LocalPort()] || s.peerPorts[k.PeerPort()] || s.tuples[k]
 }
 
 // ServerPorts returns the configured server ports.

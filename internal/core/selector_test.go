@@ -12,14 +12,14 @@ func TestSelectorServerPorts(t *testing.T) {
 	s.EnableServerPort(21)
 
 	client := ipv4.MustParseAddr("10.0.2.1")
-	if !s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 80}) {
+	if !s.Match(MakeTupleKey(client, 49152, 80)) {
 		t.Error("port 80 connection not matched")
 	}
-	if s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 8080}) {
+	if s.Match(MakeTupleKey(client, 49152, 8080)) {
 		t.Error("unrelated port matched")
 	}
 	s.DisableServerPort(80)
-	if s.Match(TupleKey{PeerAddr: client, PeerPort: 49152, LocalPort: 80}) {
+	if s.Match(MakeTupleKey(client, 49152, 80)) {
 		t.Error("disabled port still matched")
 	}
 	ports := s.ServerPorts()
@@ -33,10 +33,10 @@ func TestSelectorPeerPorts(t *testing.T) {
 	s := NewSelector()
 	s.EnablePeerPort(5432)
 	backend := ipv4.MustParseAddr("10.0.2.1")
-	if !s.Match(TupleKey{PeerAddr: backend, PeerPort: 5432, LocalPort: 49152}) {
+	if !s.Match(MakeTupleKey(backend, 5432, 49152)) {
 		t.Error("back-end connection not matched")
 	}
-	if s.Match(TupleKey{PeerAddr: backend, PeerPort: 5433, LocalPort: 49152}) {
+	if s.Match(MakeTupleKey(backend, 5433, 49152)) {
 		t.Error("wrong peer port matched")
 	}
 }
@@ -44,13 +44,12 @@ func TestSelectorPeerPorts(t *testing.T) {
 func TestSelectorTuples(t *testing.T) {
 	// The paper's per-socket method: one specific connection.
 	s := NewSelector()
-	k := TupleKey{PeerAddr: ipv4.MustParseAddr("10.0.2.1"), PeerPort: 1234, LocalPort: 9999}
+	k := MakeTupleKey(ipv4.MustParseAddr("10.0.2.1"), 1234, 9999)
 	s.EnableTuple(k)
 	if !s.Match(k) {
 		t.Error("explicit tuple not matched")
 	}
-	other := k
-	other.PeerPort = 1235
+	other := MakeTupleKey(k.PeerAddr(), 1235, k.LocalPort())
 	if s.Match(other) {
 		t.Error("different tuple matched")
 	}

@@ -118,6 +118,11 @@ func (b *Buffer) Bytes() []byte { return b.store[b.off:b.end] }
 // Len returns the data length.
 func (b *Buffer) Len() int { return b.end - b.off }
 
+// Room returns how many bytes Extend can add before the store would have to
+// be reallocated (and the buffer would fall out of the pool). GRO-style
+// coalescing uses this to merge only when the merged packet stays pooled.
+func (b *Buffer) Room() int { return len(b.store) - b.end }
+
 // Extend grows the data window by n bytes at the back and returns the new
 // region for the caller to fill (its prior contents are undefined — callers
 // must overwrite every byte). It reallocates only for oversized packets.

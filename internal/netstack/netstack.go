@@ -45,6 +45,15 @@ type Profile struct {
 	// added to every ingress/egress/bridge charge. On the paper's 566 MHz
 	// servers this, not the 100 Mbit/s wire, bounds bulk throughput.
 	CopyPerKB time.Duration
+	// NAPIBudget enables batched frame delivery when > 1: a TCP frame
+	// arriving while an earlier same-flow frame still awaits its ingress
+	// completion joins that pending delivery — coalesced byte-for-byte into
+	// the pending segment when GRO conditions hold (see tcp.CanCoalesceRaw),
+	// otherwise chained — up to NAPIBudget frames per delivery. Each frame
+	// still pays its full ingress CPU charge; batching only defers delivery
+	// of earlier frames to the batch's completion, like interrupt
+	// coalescing. 0 (the default) preserves per-frame delivery exactly.
+	NAPIBudget int
 }
 
 // perByteCost returns the size-dependent part of a packet's service time.
@@ -160,6 +169,11 @@ type Host struct {
 	// Free list of packet events: every scheduled stack crossing (ingress,
 	// egress, forward) reuses these instead of allocating a closure.
 	pktFree []*pktEvent
+
+	// inPend tracks, per TCP flow, the ingress delivery still awaiting its
+	// completion time, so NAPI batching (Profile.NAPIBudget) can coalesce
+	// later same-flow frames into it. Nil until the first batched frame.
+	inPend map[flowKey]*pktEvent
 
 	// PacketTap, when set, observes every datagram the host receives
 	// (post-ingress-delay) and sends; used by the trace facility.
@@ -316,12 +330,30 @@ func (h *Host) Restart() {
 // pktEvent carries one datagram across a scheduled stack crossing (ingress,
 // egress, forward) without a per-packet closure allocation. Events live on
 // the host's free list; buf is the pooled buffer backing payload, if any.
+//
+// With NAPI batching, an ingress pktEvent can head a chain: later same-flow
+// frames link in through next, tail points at the chain's last element, and
+// timer re-arms the head's delivery to the latest frame's ingress
+// completion. Only the head is registered in the host's pending-flow table.
 type pktEvent struct {
 	h       *Host
 	ifc     *Iface
 	hdr     ipv4.Header
 	payload []byte
 	buf     *netbuf.Buffer
+
+	next    *pktEvent
+	tail    *pktEvent
+	chained int
+	timer   sim.Timer
+	key     flowKey
+	pending bool // head of a chain registered in h.inPend
+}
+
+// flowKey identifies a TCP flow at ingress for NAPI batching.
+type flowKey struct {
+	src, dst     ipv4.Addr
+	sport, dport uint16
 }
 
 func (h *Host) getPktEvent() *pktEvent {
@@ -335,6 +367,8 @@ func (h *Host) getPktEvent() *pktEvent {
 
 func (h *Host) putPktEvent(e *pktEvent) {
 	e.ifc, e.hdr, e.payload, e.buf = nil, ipv4.Header{}, nil, nil
+	e.next, e.tail, e.chained = nil, nil, 0
+	e.timer, e.key, e.pending = sim.Timer{}, flowKey{}, false
 	h.pktFree = append(h.pktFree, e)
 }
 
@@ -358,6 +392,10 @@ func (h *Host) frameIn(ifc *Iface, f ethernet.Frame) {
 			f.Buf.Release()
 			return
 		}
+		if h.profile.NAPIBudget > 1 && hdr.Protocol == ipv4.ProtoTCP && len(payload) >= tcp.HeaderLen {
+			h.batchedIn(ifc, hdr, payload, f.Buf)
+			return
+		}
 		e := h.getPktEvent()
 		e.ifc, e.hdr, e.payload, e.buf = ifc, hdr, payload, f.Buf
 		h.sched.AtArg(h.chargeIngress(len(payload)), "ip.input", runIPInput, e)
@@ -366,11 +404,63 @@ func (h *Host) frameIn(ifc *Iface, f ethernet.Frame) {
 	}
 }
 
+// batchedIn is frameIn's TCP ingress path under NAPI batching. A frame whose
+// flow already has a delivery pending joins it — GRO-merged into the pending
+// tail segment when the byte-level conditions hold, otherwise chained — and
+// the pending delivery is re-armed to the new ingress completion time.
+// Otherwise the frame becomes a new pending chain head. CPU charging is
+// identical to the unbatched path; only delivery grouping changes, and all
+// decisions are functions of simulation state, so determinism is preserved.
+func (h *Host) batchedIn(ifc *Iface, hdr ipv4.Header, payload []byte, buf *netbuf.Buffer) {
+	key := flowKey{src: hdr.Src, dst: hdr.Dst,
+		sport: tcp.RawSrcPort(payload), dport: tcp.RawDstPort(payload)}
+	if head := h.inPend[key]; head != nil && head.ifc == ifc && head.chained < h.profile.NAPIBudget {
+		head.chained++
+		when := h.chargeIngress(len(payload))
+		t := head.tail
+		// GRO byte merge: append the new payload onto the pending tail
+		// segment when it continues the sequence run, header shapes match,
+		// and the merged packet still fits the tail's pooled store.
+		hl := tcp.RawHeaderLen(payload)
+		if t.buf != nil && t.buf.Len() == ipv4.HeaderLen+len(t.payload) &&
+			t.buf.Room() >= len(payload)-hl && tcp.CanCoalesceRaw(t.payload, payload) {
+			copy(t.buf.Extend(len(payload)-hl), payload[hl:])
+			t.payload = t.buf.Bytes()[ipv4.HeaderLen:]
+			tcp.FinishCoalesceRaw(hdr.Src, hdr.Dst, t.payload, payload)
+			buf.Release()
+		} else {
+			e := h.getPktEvent()
+			e.ifc, e.hdr, e.payload, e.buf = ifc, hdr, payload, buf
+			t.next = e
+			head.tail = e
+		}
+		head.timer.Stop()
+		head.timer = h.sched.AtArg(when, "ip.input", runIPInput, head)
+		return
+	}
+	e := h.getPktEvent()
+	e.ifc, e.hdr, e.payload, e.buf = ifc, hdr, payload, buf
+	e.tail, e.chained, e.key, e.pending = e, 1, key, true
+	if h.inPend == nil {
+		h.inPend = make(map[flowKey]*pktEvent)
+	}
+	h.inPend[key] = e
+	e.timer = h.sched.AtArg(h.chargeIngress(len(payload)), "ip.input", runIPInput, e)
+}
+
 func runIPInput(v any) {
 	e := v.(*pktEvent)
-	h, ifc, hdr, payload, buf := e.h, e.ifc, e.hdr, e.payload, e.buf
-	h.putPktEvent(e)
-	h.ipInput(ifc, hdr, payload, buf)
+	h := e.h
+	if e.pending {
+		delete(h.inPend, e.key)
+	}
+	for e != nil {
+		next := e.next
+		ifc, hdr, payload, buf := e.ifc, e.hdr, e.payload, e.buf
+		h.putPktEvent(e)
+		h.ipInput(ifc, hdr, payload, buf)
+		e = next
+	}
 }
 
 // ipInput owns buf, the pooled buffer backing payload (nil when the caller
@@ -504,6 +594,17 @@ func (h *Host) SendIPFast(src, dst ipv4.Addr, proto uint8, payload []byte) error
 		return ErrHostDown
 	}
 	return h.sendPacket(src, dst, proto, netbuf.From(payload), h.profile.BridgeDelay, "bridge.output")
+}
+
+// SendIPFastBuf is SendIPFast without the copy: it takes ownership of pkt,
+// a pooled buffer the bridge marshaled its segment into directly. This is
+// the bridges' zero-allocation steady-state emit path.
+func (h *Host) SendIPFastBuf(src, dst ipv4.Addr, proto uint8, pkt *netbuf.Buffer) error {
+	if !h.alive {
+		pkt.Release()
+		return ErrHostDown
+	}
+	return h.sendPacket(src, dst, proto, pkt, h.profile.BridgeDelay, "bridge.output")
 }
 
 // sendPacket queues a locally originated datagram for transmission, taking

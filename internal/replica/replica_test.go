@@ -44,11 +44,7 @@ func TestGroupWiring(t *testing.T) {
 	if g.PrimaryBridge() == nil || g.SecondaryBridge() == nil {
 		t.Fatal("bridges not installed")
 	}
-	key := core.TupleKey{
-		PeerAddr:  ipv4.MustParseAddr("10.0.2.1"),
-		PeerPort:  49152,
-		LocalPort: 80,
-	}
+	key := core.MakeTupleKey(ipv4.MustParseAddr("10.0.2.1"), 49152, 80)
 	if !g.Selector().Match(key) {
 		t.Error("server port not enabled in the selector")
 	}

@@ -36,6 +36,8 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 const DefaultEventLimit = 200_000_000
 
 // event is a pooled scheduled callback. Exactly one of fn and fnArg is set.
+// A pending event lives either in the heap (index >= 0) or staged in a
+// timing-wheel slot (slot >= 0), never both.
 type event struct {
 	when  time.Duration
 	seq   uint64
@@ -45,9 +47,15 @@ type event struct {
 	arg   any
 
 	sched   *Scheduler
-	index   int    // heap index, -1 when not queued
+	index   int    // heap index, -1 when not in the heap
+	slot    int32  // wheel slot, -1 when not staged in the wheel
 	gen     uint64 // bumped on recycle; validates Timer handles
 	stopped bool
+	// Intrusive links of the wheel slot's doubly-linked list. Linking
+	// through the pooled events keeps staging allocation-free: a slot's
+	// first use (each wheelTick of virtual time starts one) costs nothing.
+	slotNext *event
+	slotPrev *event
 }
 
 // Timer is a handle to a scheduled callback, returned by At/After. The zero
@@ -68,10 +76,20 @@ type Timer struct {
 // the queue until their deadlines.
 func (t Timer) Stop() bool {
 	e := t.ev
-	if e == nil || e.gen != t.gen || e.stopped || e.index < 0 {
+	if e == nil || e.gen != t.gen || e.stopped {
 		return false
 	}
 	s := e.sched
+	if e.slot >= 0 {
+		// Staged in the timing wheel: O(1) swap-remove from its slot.
+		s.pending--
+		s.wheel.remove(e)
+		s.release(e)
+		return true
+	}
+	if e.index < 0 {
+		return false
+	}
 	s.pending--
 	s.removeAt(e.index)
 	s.release(e)
@@ -81,7 +99,7 @@ func (t Timer) Stop() bool {
 // Pending reports whether the timer is still scheduled to run.
 func (t Timer) Pending() bool {
 	e := t.ev
-	return e != nil && e.gen == t.gen && !e.stopped && e.index >= 0
+	return e != nil && e.gen == t.gen && !e.stopped && (e.index >= 0 || e.slot >= 0)
 }
 
 // When returns the virtual time at which the timer fires, or 0 if it is no
@@ -99,9 +117,10 @@ func (t Timer) When() time.Duration {
 // goroutines (the parallel benchmark harness does).
 type Scheduler struct {
 	now      time.Duration
-	queue    []*event // indexed binary min-heap on (when, seq)
-	free     []*event // recycled events
-	pending  int      // queued events not yet stopped
+	queue    []heapNode  // indexed binary min-heap on (when, seq)
+	wheel    *timerWheel // short-horizon staging wheel; nil for BackendHeap
+	free     []*event    // recycled events
+	pending  int         // queued events not yet stopped
 	seq      uint64
 	rng      *rand.Rand
 	limit    int
@@ -110,12 +129,28 @@ type Scheduler struct {
 }
 
 // New returns a Scheduler whose RNG is seeded with seed, making the entire
-// simulation reproducible.
+// simulation reproducible. The scheduler uses the process-default timer
+// backend (the hierarchical timing wheel unless SetDefaultBackend says
+// otherwise); execution order is identical for either backend.
 func New(seed int64) *Scheduler {
-	return &Scheduler{
+	return NewBackend(seed, DefaultBackend())
+}
+
+// NewBackend returns a Scheduler with an explicit timer backend. BackendWheel
+// stages short-horizon timers in a hashed wheel for O(1) arm/cancel;
+// BackendHeap keeps every pending event in the binary heap. The two execute
+// the same event sequence byte-for-byte (the wheel only stages events — they
+// always pass through the (when, seq) heap before firing), so BackendHeap
+// exists as the differential-testing baseline.
+func NewBackend(seed int64, b Backend) *Scheduler {
+	s := &Scheduler{
 		rng:   rand.New(rand.NewSource(seed)),
 		limit: DefaultEventLimit,
 	}
+	if b == BackendWheel {
+		s.wheel = newTimerWheel()
+	}
+	return s
 }
 
 // Now returns the current virtual time (elapsed since simulation start).
@@ -139,7 +174,7 @@ func (s *Scheduler) acquire() *event {
 		s.free = s.free[:n-1]
 		return ev
 	}
-	return &event{sched: s, index: -1}
+	return &event{sched: s, index: -1, slot: -1}
 }
 
 // release recycles an event. Bumping the generation invalidates every Timer
@@ -153,14 +188,40 @@ func (s *Scheduler) release(ev *event) {
 	ev.name = ""
 	ev.stopped = false
 	ev.index = -1
+	ev.slot = -1
 	s.free = append(s.free, ev)
 }
 
-// schedule inserts a prepared event and returns its handle.
+// schedule inserts a prepared event and returns its handle. Events whose
+// deadline is comfortably ahead of the current tick and within the wheel's
+// horizon are staged in a slot (O(1)); everything else goes straight into
+// the heap. Near-term events — packet hops and CPU charges, microseconds
+// out — are deliberately excluded: they execute almost immediately, so
+// staging would only add a settle-time flush on top of the heap push they
+// pay anyway. The wheel is for the timers that usually get canceled
+// (delayed ack, retransmission), whose cancel then costs O(1) unlinking
+// instead of an O(log n) heap repair.
 func (s *Scheduler) schedule(ev *event) Timer {
 	ev.seq = s.seq
 	s.seq++
 	s.pending++
+	if w := s.wheel; w != nil {
+		nowTick := int64(s.now / wheelTick)
+		if w.count == 0 && w.baseTick < nowTick {
+			// Nothing staged: slide the horizon window up to the present.
+			// Without this the window goes stale whenever every staged
+			// timer is canceled before expiring — the wheel's normal
+			// workload — because baseTick otherwise advances only when a
+			// slot is flushed.
+			w.baseTick = nowTick
+			w.scanFrom = nowTick
+		}
+		t := int64(ev.when / wheelTick)
+		if t > nowTick+1 && t >= w.baseTick && t-w.baseTick < wheelSlots {
+			w.insert(ev, t)
+			return Timer{ev: ev, gen: ev.gen}
+		}
+	}
 	s.push(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
@@ -216,8 +277,19 @@ func (s *Scheduler) Halt() { s.halted = true }
 
 // --- heap ---------------------------------------------------------------
 
-// less orders events by (when, seq): virtual time with FIFO tie-break.
-func less(a, b *event) bool {
+// heapNode is one heap entry with the ordering key held inline. Sift
+// comparisons at 10k connections walk a heap whose events are scattered,
+// cold cache lines; keeping (when, seq) in the contiguous node array means
+// a comparison never dereferences an event — only reseating one touches it
+// (to maintain event.index for O(1) cancel).
+type heapNode struct {
+	when time.Duration
+	seq  uint64
+	ev   *event
+}
+
+// less orders nodes by (when, seq): virtual time with FIFO tie-break.
+func (a heapNode) less(b heapNode) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
@@ -225,27 +297,27 @@ func less(a, b *event) bool {
 }
 
 func (s *Scheduler) push(ev *event) {
-	q := append(s.queue, ev)
+	nd := heapNode{when: ev.when, seq: ev.seq, ev: ev}
+	q := append(s.queue, nd)
 	i := len(q) - 1
-	ev.index = i
 	// Sift up.
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !less(ev, q[parent]) {
+		if !nd.less(q[parent]) {
 			break
 		}
 		q[i] = q[parent]
-		q[i].index = i
+		q[i].ev.index = i
 		i = parent
 	}
-	q[i] = ev
+	q[i] = nd
 	ev.index = i
 	s.queue = q
 }
 
 // popMin removes and returns the earliest event.
 func (s *Scheduler) popMin() *event {
-	top := s.queue[0]
+	top := s.queue[0].ev
 	s.removeAt(0)
 	return top
 }
@@ -257,9 +329,9 @@ func (s *Scheduler) popMin() *event {
 func (s *Scheduler) removeAt(i int) {
 	q := s.queue
 	n := len(q) - 1
-	q[i].index = -1
+	q[i].ev.index = -1
 	last := q[n]
-	q[n] = nil
+	q[n] = heapNode{}
 	s.queue = q[:n]
 	if i == n {
 		return
@@ -274,29 +346,29 @@ func (s *Scheduler) removeAt(i int) {
 			break
 		}
 		child := l
-		if r < n && less(q[r], q[l]) {
+		if r < n && q[r].less(q[l]) {
 			child = r
 		}
-		if !less(q[child], last) {
+		if !q[child].less(last) {
 			break
 		}
 		q[j] = q[child]
-		q[j].index = j
+		q[j].ev.index = j
 		j = child
 	}
 	if j == i {
 		for j > 0 {
 			parent := (j - 1) / 2
-			if !less(last, q[parent]) {
+			if !last.less(q[parent]) {
 				break
 			}
 			q[j] = q[parent]
-			q[j].index = j
+			q[j].ev.index = j
 			j = parent
 		}
 	}
 	q[j] = last
-	last.index = j
+	last.ev.index = j
 }
 
 // --- execution ----------------------------------------------------------
@@ -305,7 +377,11 @@ func (s *Scheduler) removeAt(i int) {
 // timestamp. It reports whether an event was executed. Stopped events
 // encountered on the way are recycled without firing.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
+	for {
+		s.settle()
+		if len(s.queue) == 0 {
+			return false
+		}
 		ev := s.popMin()
 		if ev.stopped {
 			s.release(ev)
@@ -326,7 +402,6 @@ func (s *Scheduler) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty, Halt is called, or the
@@ -351,6 +426,10 @@ func (s *Scheduler) RunUntil(t time.Duration) error {
 	s.halted = false
 	start := s.executed
 	for !s.halted {
+		// After settle the heap top is the globally earliest pending event:
+		// every staged wheel event lies in a strictly later tick, hence
+		// strictly after the heap top.
+		s.settle()
 		if len(s.queue) == 0 || s.queue[0].when > t {
 			if s.now < t {
 				s.now = t

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Timer backend selection.
+//
+// The hashed timing wheel stages short-horizon timers — TCP retransmission
+// and delayed-ack timers, re-armed and canceled once per segment — in
+// per-tick slots, making arm and cancel O(1) instead of O(log n) heap
+// sifts. With 10k connections the heap otherwise holds ~10k pending timers
+// and every segment pays two 14-level sifts.
+//
+// Determinism is preserved by construction: the wheel never *executes*
+// events. When a slot's tick comes due its events are flushed into the
+// (when, seq) binary heap, and the heap alone decides execution order.
+// Since (when, seq) keys are unique, the pop sequence is a total order
+// independent of how events arrived in the heap — so a wheel-backed and a
+// heap-only scheduler run byte-identical simulations for the same seed
+// (pinned by the differential tests and the workers-1-vs-N CI gate).
+
+// Backend selects the Scheduler's timer data structure.
+type Backend int
+
+const (
+	// BackendWheel stages short-horizon timers in a hashed wheel (default).
+	BackendWheel Backend = iota
+	// BackendHeap keeps every pending timer in the binary heap. Identical
+	// observable behavior; exists as the differential-testing baseline.
+	BackendHeap
+)
+
+const (
+	wheelBits  = 10
+	wheelSlots = 1 << wheelBits // 1024 slots
+	wheelMask  = wheelSlots - 1
+	// wheelTick × wheelSlots ≈ 1s of horizon: covers delayed-ack (200ms)
+	// and first-RTO (200ms–1s) churn; backoff retransmits and TIME-WAIT
+	// deadlines beyond it go to the heap, which is fine — they are rare.
+	wheelTick = time.Millisecond
+)
+
+// defaultHeapOnly flips the process-default backend; atomic because the
+// parallel bench harness constructs schedulers from multiple goroutines.
+var defaultHeapOnly atomic.Bool
+
+// DefaultBackend returns the backend New uses.
+func DefaultBackend() Backend {
+	if defaultHeapOnly.Load() {
+		return BackendHeap
+	}
+	return BackendWheel
+}
+
+// SetDefaultBackend changes the backend used by subsequent New calls.
+// Schedulers already constructed are unaffected. Intended for differential
+// tests and A/B benchmarks; call it only while no scheduler is being
+// constructed concurrently elsewhere.
+func SetDefaultBackend(b Backend) { defaultHeapOnly.Store(b == BackendHeap) }
+
+// timerWheel is a single-level hashed wheel over wheelSlots ticks. Events in
+// slot t&wheelMask all share tick t: an event is staged only when its tick
+// lies in [baseTick, baseTick+wheelSlots), and a slot is emptied (flushed to
+// the heap) before baseTick passes it, so two ticks can never occupy one
+// slot at the same time.
+type timerWheel struct {
+	// Each slot heads an intrusive doubly-linked list through the pooled
+	// events. A slice per slot would re-grow from nil on every slot's first
+	// use — and since each wheelTick of virtual time opens a fresh slot,
+	// simulations shorter than a full rotation would allocate steadily.
+	slots    [wheelSlots]*event
+	baseTick int64 // lowest tick that may still be staged
+	scanFrom int64 // lower bound on the earliest non-empty tick
+	count    int   // staged events across all slots
+}
+
+func newTimerWheel() *timerWheel { return &timerWheel{} }
+
+// insert stages ev (whose tick is t, already verified in-horizon) in O(1)
+// by pushing it onto the slot's list head. Order within a slot is
+// irrelevant — the heap re-establishes (when, seq) order at flush time.
+func (w *timerWheel) insert(ev *event, t int64) {
+	idx := t & wheelMask
+	ev.slot = int32(idx)
+	head := w.slots[idx]
+	ev.slotNext = head
+	ev.slotPrev = nil
+	if head != nil {
+		head.slotPrev = ev
+	}
+	w.slots[idx] = ev
+	w.count++
+	if t < w.scanFrom {
+		w.scanFrom = t
+	}
+}
+
+// remove unstages a canceled event in O(1) by unlinking it.
+func (w *timerWheel) remove(ev *event) {
+	if ev.slotPrev != nil {
+		ev.slotPrev.slotNext = ev.slotNext
+	} else {
+		w.slots[ev.slot] = ev.slotNext
+	}
+	if ev.slotNext != nil {
+		ev.slotNext.slotPrev = ev.slotPrev
+	}
+	ev.slotNext, ev.slotPrev = nil, nil
+	ev.slot = -1
+	w.count--
+}
+
+// nextTick returns the earliest tick with staged events. Must only be called
+// with count > 0. The scan resumes from a memoized lower bound, so repeated
+// calls between flushes are O(1) amortized.
+func (w *timerWheel) nextTick() int64 {
+	t := w.scanFrom
+	if t < w.baseTick {
+		t = w.baseTick
+	}
+	for end := w.baseTick + wheelSlots; t < end; t++ {
+		if w.slots[t&wheelMask] != nil {
+			w.scanFrom = t
+			return t
+		}
+	}
+	panic("sim: timer wheel count desynchronized")
+}
+
+// settle flushes every wheel slot that could precede (or tie with) the heap
+// top, leaving the heap top as the globally earliest pending event. A slot
+// is flushed when its tick is <= the heap top's tick: a same-tick slot may
+// hold an event that sorts before the heap top within the tick.
+func (s *Scheduler) settle() {
+	w := s.wheel
+	if w == nil {
+		return
+	}
+	for w.count > 0 {
+		wt := w.nextTick()
+		if len(s.queue) > 0 && int64(s.queue[0].when/wheelTick) < wt {
+			return
+		}
+		s.flushSlot(wt)
+	}
+}
+
+// flushSlot migrates one slot's events into the heap and advances baseTick
+// past it, after which that tick is "inside the horizon's past" and new
+// same-tick arms go straight to the heap.
+func (s *Scheduler) flushSlot(wt int64) {
+	w := s.wheel
+	idx := wt & wheelMask
+	for ev := w.slots[idx]; ev != nil; {
+		next := ev.slotNext
+		ev.slotNext, ev.slotPrev = nil, nil
+		ev.slot = -1
+		s.push(ev)
+		w.count--
+		ev = next
+	}
+	w.slots[idx] = nil
+	w.baseTick = wt + 1
+	if w.scanFrom < w.baseTick {
+		w.scanFrom = w.baseTick
+	}
+}

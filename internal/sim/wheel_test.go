@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWheelHorizonBoundary arms timers straddling the wheel horizon: one in
+// the last in-horizon tick, one exactly at the horizon (heap), one far
+// beyond, and one at time zero. They must fire in deadline order and
+// Pending/When must hold for staged and heap-resident events alike.
+func TestWheelHorizonBoundary(t *testing.T) {
+	s := NewBackend(1, BackendWheel)
+	horizon := wheelTick * wheelSlots
+	deadlines := []time.Duration{
+		0,                   // current tick: straight to the heap
+		wheelTick - 1,       // near-term: straight to the heap
+		horizon - 1,         // last staged tick
+		horizon,             // first out-of-horizon tick: heap
+		horizon + wheelTick, // beyond: heap
+		10 * horizon,        // far future: heap
+	}
+	var fired []time.Duration
+	timers := make([]Timer, len(deadlines))
+	for i, d := range deadlines {
+		d := d
+		timers[i] = s.At(d, "t", func() { fired = append(fired, d) })
+	}
+	for i, tm := range timers {
+		if !tm.Pending() {
+			t.Fatalf("timer %d not pending", i)
+		}
+		if tm.When() != deadlines[i] {
+			t.Fatalf("timer %d When=%v want %v", i, tm.When(), deadlines[i])
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fired, deadlines) {
+		t.Fatalf("fire order %v, want %v", fired, deadlines)
+	}
+	if s.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d after drain", s.PendingEvents())
+	}
+}
+
+// TestWheelHorizonAdvances checks that once the wheel's base has moved, a
+// slot index is reusable for a tick one full rotation later and events still
+// fire at the right times.
+func TestWheelHorizonAdvances(t *testing.T) {
+	s := NewBackend(2, BackendWheel)
+	var fired []time.Duration
+	note := func(d time.Duration) func() { return func() { fired = append(fired, d) } }
+	first := 5 * wheelTick
+	s.At(first, "a", note(first))
+	if err := s.RunUntil(first); err != nil {
+		t.Fatal(err)
+	}
+	// Same slot index (tick 5 + wheelSlots), now in-horizon again.
+	second := first + wheelTick*wheelSlots
+	s.At(second, "b", note(second))
+	third := first + 2*wheelTick
+	s.At(third, "c", note(third))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{first, third, second}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fire order %v, want %v", fired, want)
+	}
+}
+
+// TestWheelCancelRearmRecycles exercises the retransmission-timer pattern —
+// arm, cancel, re-arm, thousands of times — and checks that staged events
+// recycle through the scheduler's pool: the pending count stays at one and
+// stale handles remain safe no-ops.
+func TestWheelCancelRearmRecycles(t *testing.T) {
+	s := NewBackend(3, BackendWheel)
+	var tm Timer
+	var stale []Timer
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			if !tm.Stop() {
+				t.Fatalf("Stop %d reported not pending", i)
+			}
+			stale = append(stale, tm)
+		}
+		tm = s.After(200*time.Millisecond, "rexmt", func() {})
+		if got := s.PendingEvents(); got != 1 {
+			t.Fatalf("PendingEvents = %d after re-arm %d, want 1", got, i)
+		}
+	}
+	// Every stale handle's event has been recycled under a new generation.
+	for i, old := range stale {
+		if old.Pending() {
+			t.Fatalf("stale handle %d still pending", i)
+		}
+		if old.Stop() {
+			t.Fatalf("stale handle %d Stop returned true", i)
+		}
+	}
+	// Perfect recycling: every arm reuses the single pooled event object.
+	for i, old := range stale {
+		if old.ev != tm.ev {
+			t.Fatalf("re-arm %d allocated a new event instead of recycling", i)
+		}
+	}
+	if !tm.Stop() {
+		t.Fatal("final Stop failed")
+	}
+	if s.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d after final Stop", s.PendingEvents())
+	}
+}
+
+// TestWheelSameTickOrdering arms many events inside one wheel tick in a
+// scrambled deadline order, plus ties at the same instant, and requires
+// execution in (when, arm-sequence) order — the same total order the heap
+// baseline produces.
+func TestWheelSameTickOrdering(t *testing.T) {
+	const n = 64
+	run := func(b Backend) []int {
+		s := NewBackend(4, b)
+		rng := rand.New(rand.NewSource(99))
+		var fired []int
+		base := wheelTick * 3
+		for i := 0; i < n; i++ {
+			i := i
+			// All deadlines inside tick 3; every fourth is a tie at base.
+			off := time.Duration(rng.Intn(int(wheelTick)))
+			if i%4 == 0 {
+				off = 0
+			}
+			s.At(base+off, "e", func() { fired = append(fired, i) })
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	wheel, heap := run(BackendWheel), run(BackendHeap)
+	if !reflect.DeepEqual(wheel, heap) {
+		t.Fatalf("same-tick order diverged:\nwheel %v\nheap  %v", wheel, heap)
+	}
+	// Ties must fire in arm order.
+	seenTie := -1
+	for _, i := range wheel {
+		if i%4 == 0 {
+			if i < seenTie {
+				t.Fatalf("tied events out of arm order: %v", wheel)
+			}
+			seenTie = i
+		}
+	}
+}
+
+// TestWheelVsHeapRandomSchedule drives both backends through an identical
+// randomized arm/cancel/step workload — deadlines spanning the horizon,
+// cancellations, re-arms from inside callbacks — and requires byte-identical
+// execution traces.
+func TestWheelVsHeapRandomSchedule(t *testing.T) {
+	run := func(b Backend) string {
+		s := NewBackend(7, b)
+		rng := rand.New(rand.NewSource(42))
+		trace := ""
+		var timers []Timer
+		var arm func(id int)
+		arm = func(id int) {
+			d := time.Duration(rng.Int63n(int64(wheelTick * wheelSlots * 2)))
+			id2 := id
+			timers = append(timers, s.After(d, "r", func() {
+				trace += fmt.Sprintf("%d@%v;", id2, s.Now())
+				if id2 < 400 && rng.Intn(3) == 0 {
+					arm(id2 + 1000)
+				}
+			}))
+		}
+		for i := 0; i < 300; i++ {
+			arm(i)
+			if i%3 == 0 && len(timers) > 4 {
+				victim := rng.Intn(len(timers))
+				timers[victim].Stop()
+			}
+			if i%17 == 0 {
+				if err := s.RunFor(time.Duration(rng.Int63n(int64(wheelTick * 50)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	wheel, heap := run(BackendWheel), run(BackendHeap)
+	if wheel != heap {
+		t.Fatalf("execution traces diverged between wheel and heap backends:\nwheel %.300s\nheap  %.300s", wheel, heap)
+	}
+}
+
+// TestWheelPastDeadlineClamped verifies that arming in the past (clamped to
+// now) lands in the heap, not a stale wheel slot, and runs after events
+// already queued for the current instant.
+func TestWheelPastDeadlineClamped(t *testing.T) {
+	s := NewBackend(8, BackendWheel)
+	var fired []string
+	s.At(3*wheelTick, "a", func() {
+		fired = append(fired, "a")
+		s.At(0, "late", func() { fired = append(fired, "late") })
+		s.At(s.Now(), "now", func() { fired = append(fired, "now") })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "late", "now"}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fire order %v, want %v", fired, want)
+	}
+}

@@ -1,8 +1,11 @@
 package tcp
 
 import (
+	"bytes"
+
 	"tcpfailover/internal/checksum"
 	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netbuf"
 )
 
 // This file implements the raw-segment surgery the failover bridges
@@ -189,17 +192,117 @@ func InsertOrigDstOption(b []byte, orig ipv4.Addr) ([]byte, error) {
 	return out, nil
 }
 
+// AppendOrigDstOption builds the diverted form of a marshaled segment
+// directly into a pooled packet buffer: header, then the 8-byte
+// original-destination option block, then payload, with the data offset
+// patched and the checksum updated incrementally. It is the zero-allocation
+// equivalent of InsertOrigDstOption for the secondary's steady-state divert
+// path; opt is the flow's precomputed option block (see OrigDstOptionBlock)
+// whose byte sum the caller may also precompute.
+func AppendOrigDstOption(pkt *netbuf.Buffer, b []byte, opt *[8]byte) ([]byte, error) {
+	const optLen = 8
+	hdrLen := RawHeaderLen(b)
+	if hdrLen-HeaderLen+optLen > MaxOptionLen {
+		return nil, ErrBadOption
+	}
+	out := pkt.Extend(len(b) + optLen)
+	copy(out, b[:hdrLen])
+	copy(out[hdrLen:], opt[:])
+	copy(out[hdrLen+optLen:], b[hdrLen:])
+
+	sum := RawChecksum(out)
+	oldOffWord := getU16(out[12:])
+	out[12] = byte((hdrLen+optLen)/4) << 4
+	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
+	sum = checksum.UpdateBytes(sum, nil, opt[:])
+	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
+	putU16(out[16:], sum)
+	return out, nil
+}
+
+// OrigDstOptionBlock fills opt with the NOP NOP kind len addr block that
+// AppendOrigDstOption inserts, so a per-flow cache can precompute it once.
+func OrigDstOptionBlock(opt *[8]byte, orig ipv4.Addr) {
+	opt[0] = OptNOP
+	opt[1] = OptNOP
+	opt[2] = OptOrigDst
+	opt[3] = 6
+	ipv4.PutAddr(opt[4:8], orig)
+}
+
+// HasOrigDstOption reports whether the marshaled segment carries the
+// original-destination option, without copying or modifying it. The
+// primary's demultiplexer uses it to classify a datagram before the
+// checksum verification that must precede the in-place strip.
+func HasOrigDstOption(b []byte) bool {
+	_, _, _, ok := findOrigDstOption(b)
+	return ok
+}
+
 // StripOrigDstOption returns a copy of the marshaled segment with the
 // original-destination option (and its alignment pads) removed, restoring
 // the header the secondary's TCP layer produced. It reports the option
 // value. The second return is false when no option is present.
 func StripOrigDstOption(b []byte) ([]byte, ipv4.Addr, bool) {
+	absStart, absEnd, addr, ok := findOrigDstOption(b)
+	if !ok {
+		return b, 0, false
+	}
+	hdrLen := RawHeaderLen(b)
+	removed := absEnd - absStart
+	out := make([]byte, len(b)-removed)
+	copy(out, b[:absStart])
+	copy(out[absStart:], b[absEnd:])
+
+	sum := RawChecksum(out)
+	oldOffWord := getU16(b[12:])
+	out[12] = byte((hdrLen-removed)/4) << 4
+	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
+	sum = checksum.UpdateBytes(sum, b[absStart:absEnd], nil)
+	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
+	putU16(out[16:], sum)
+	return out, addr, true
+}
+
+// StripOrigDstOptionInPlace removes the original-destination option without
+// copying the segment: the header bytes before the option shift forward
+// over it and the stripped segment — a tail slice of b — is returned. The
+// caller must own b (the primary's inbound hook does: each receiver gets a
+// private copy of the frame). This is the zero-allocation strip for the
+// divert-merge steady state.
+func StripOrigDstOptionInPlace(b []byte) ([]byte, ipv4.Addr, bool) {
+	absStart, absEnd, addr, ok := findOrigDstOption(b)
+	if !ok {
+		return b, 0, false
+	}
+	hdrLen := RawHeaderLen(b)
+	removed := absEnd - absStart
+	// Capture the removed bytes and old offset word before the shift
+	// overwrites them (removed <= 8, see findOrigDstOption).
+	var gone [8]byte
+	copy(gone[:], b[absStart:absEnd])
+	oldOffWord := getU16(b[12:])
+
+	copy(b[removed:absEnd], b[:absStart])
+	out := b[removed:]
+
+	sum := RawChecksum(out)
+	out[12] = byte((hdrLen-removed)/4) << 4
+	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
+	sum = checksum.UpdateBytes(sum, gone[:removed], nil)
+	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
+	putU16(out[16:], sum)
+	return out, addr, true
+}
+
+// findOrigDstOption locates the NOP NOP kind len addr block written by
+// InsertOrigDstOption, returning the absolute [start, end) byte range
+// (including alignment pads, at most 8 bytes) and the option value.
+func findOrigDstOption(b []byte) (absStart, absEnd int, addr ipv4.Addr, ok bool) {
 	hdrLen := RawHeaderLen(b)
 	opts := b[HeaderLen:hdrLen]
-	// Find the NOP NOP kind len addr block written by InsertOrigDstOption.
 	i := 0
 	start, end := -1, -1
-	var addr ipv4.Addr
 	for i < len(opts) {
 		switch opts[i] {
 		case OptEnd:
@@ -208,11 +311,11 @@ func StripOrigDstOption(b []byte) ([]byte, ipv4.Addr, bool) {
 			i++
 		default:
 			if i+1 >= len(opts) {
-				return b, 0, false
+				return 0, 0, 0, false
 			}
 			l := int(opts[i+1])
 			if l < 2 || i+l > len(opts) {
-				return b, 0, false
+				return 0, 0, 0, false
 			}
 			if opts[i] == OptOrigDst && l == 6 {
 				addr = ipv4.GetAddr(opts[i+2 : i+6])
@@ -226,21 +329,48 @@ func StripOrigDstOption(b []byte) ([]byte, ipv4.Addr, bool) {
 		}
 	}
 	if start < 0 {
-		return b, 0, false
+		return 0, 0, 0, false
 	}
-	removed := end - start
-	absStart := HeaderLen + start
-	absEnd := HeaderLen + end
-	out := make([]byte, len(b)-removed)
-	copy(out, b[:absStart])
-	copy(out[absStart:], b[absEnd:])
+	return HeaderLen + start, HeaderLen + end, addr, true
+}
 
-	sum := RawChecksum(out)
-	oldOffWord := getU16(b[12:])
-	out[12] = byte((hdrLen-removed)/4) << 4
-	sum = checksum.Update(sum, oldOffWord, getU16(out[12:]))
-	sum = checksum.UpdateBytes(sum, b[absStart:absEnd], nil)
-	sum = checksum.Update(sum, uint16(len(b)), uint16(len(out)))
-	putU16(out[16:], sum)
-	return out, addr, true
+// CanCoalesceRaw reports whether marshaled segment next can be GRO-merged
+// onto tail: both are pure in-order data segments (only ACK/PSH flags) with
+// identical ports and option bytes, and next continues tail's sequence run
+// exactly. Bare acks are not merged — they carry no payload and their
+// timing matters to the sender's RTT estimator.
+func CanCoalesceRaw(tail, next []byte) bool {
+	if len(tail) < HeaderLen || len(next) < HeaderLen {
+		return false
+	}
+	hl := RawHeaderLen(tail)
+	if hl < HeaderLen || hl > len(tail) || hl != RawHeaderLen(next) || hl > len(next) {
+		return false
+	}
+	if len(next) == hl {
+		return false
+	}
+	if RawSrcPort(tail) != RawSrcPort(next) || RawDstPort(tail) != RawDstPort(next) {
+		return false
+	}
+	const mergeable = FlagACK | FlagPSH
+	if RawFlags(tail)&^mergeable != 0 || RawFlags(next)&^mergeable != 0 {
+		return false
+	}
+	if hl > HeaderLen && !bytes.Equal(tail[HeaderLen:hl], next[HeaderLen:hl]) {
+		return false
+	}
+	return RawSeq(tail).Add(len(tail)-hl) == RawSeq(next)
+}
+
+// FinishCoalesceRaw fixes up a GRO-merged segment after next's payload
+// bytes have been appended to tail (which now includes them): the merged
+// segment carries the later segment's acknowledgment, window, and PSH bit,
+// and the checksum is recomputed for the new length.
+func FinishCoalesceRaw(src, dst ipv4.Addr, tail, next []byte) {
+	putU32(tail[8:], uint32(RawAck(next)))
+	putU16(tail[14:], RawWindow(next))
+	tail[13] |= byte(RawFlags(next) & FlagPSH)
+	putU16(tail[16:], 0)
+	putU16(tail[16:], ComputeChecksum(src, dst, tail))
 }

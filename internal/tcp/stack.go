@@ -145,6 +145,17 @@ func (t Tuple) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d", t.LocalAddr, t.LocalPort, t.RemoteAddr, t.RemotePort)
 }
 
+// key packs the remote endpoint and local port into a uint64 map key. The
+// packed key is what makes segment demultiplexing a single fast-path map
+// probe at 10k connections: a 12-byte struct key forces the runtime through
+// the generic hash/equal route, an 8-byte integer key takes the fast64 one.
+// LocalAddr is deliberately left out — a stack nearly always owns one
+// address, so conns that differ only there (possible around Rebind during
+// IP takeover) share a key and are told apart by the collision chain.
+func (t Tuple) key() uint64 {
+	return uint64(t.RemoteAddr)<<32 | uint64(t.RemotePort)<<16 | uint64(t.LocalPort)
+}
+
 // Stack is one host's TCP layer. It is event-driven: all methods must be
 // called from the simulation loop.
 type Stack struct {
@@ -158,8 +169,11 @@ type Stack struct {
 	localAddr func(dst ipv4.Addr) (ipv4.Addr, bool)
 
 	listeners map[uint16]*Listener
-	conns     map[Tuple]*Conn
-	nextPort  uint16
+	// conns indexes connections by Tuple.key(); conns differing only in
+	// LocalAddr chain through Conn.hashNext.
+	conns    map[uint64]*Conn
+	nconns   int
+	nextPort uint16
 
 	// inSeg is the scratch segment Input parses into; handlers never retain
 	// the pointer, so reusing it keeps segment receive allocation-free.
@@ -189,7 +203,7 @@ func NewStack(sched *sim.Scheduler, cfg Config, output Output,
 		rng:       sched.Rand(),
 		localAddr: localAddr,
 		listeners: make(map[uint16]*Listener),
-		conns:     make(map[Tuple]*Conn),
+		conns:     make(map[uint64]*Conn),
 		nextPort:  49152,
 	}
 }
@@ -245,13 +259,13 @@ func (s *Stack) Dial(raddr ipv4.Addr, rport uint16) (*Conn, error) {
 	var t Tuple
 	for range 65536 {
 		t = Tuple{LocalAddr: laddr, LocalPort: s.allocPort(), RemoteAddr: raddr, RemotePort: rport}
-		if _, exists := s.conns[t]; !exists {
+		if s.findConn(t) == nil {
 			break
 		}
 	}
 	c := s.newConn(t)
 	c.state = StateSynSent
-	s.conns[t] = c
+	s.insertConn(c)
 	c.sendSYN(false)
 	return c, nil
 }
@@ -264,12 +278,12 @@ func (s *Stack) DialFrom(lport uint16, raddr ipv4.Addr, rport uint16) (*Conn, er
 		return nil, fmt.Errorf("%w: dial %s", ErrNoRoute, raddr)
 	}
 	t := Tuple{LocalAddr: laddr, LocalPort: lport, RemoteAddr: raddr, RemotePort: rport}
-	if _, exists := s.conns[t]; exists {
+	if s.findConn(t) != nil {
 		return nil, fmt.Errorf("%w: %s", ErrPortInUse, t)
 	}
 	c := s.newConn(t)
 	c.state = StateSynSent
-	s.conns[t] = c
+	s.insertConn(c)
 	c.sendSYN(false)
 	return c, nil
 }
@@ -283,19 +297,67 @@ func (s *Stack) allocPort() uint16 {
 	return p
 }
 
+// findConn returns the connection for a tuple, or nil. The chain beyond the
+// first hop is populated only by connections sharing a key, which requires
+// two local addresses — in the steady state every probe resolves on the map
+// hit itself.
+func (s *Stack) findConn(t Tuple) *Conn {
+	for c := s.conns[t.key()]; c != nil; c = c.hashNext {
+		if c.tuple == t {
+			return c
+		}
+	}
+	return nil
+}
+
+// insertConn indexes c under its tuple's key, prepending to the chain.
+func (s *Stack) insertConn(c *Conn) {
+	k := c.tuple.key()
+	c.hashNext = s.conns[k]
+	s.conns[k] = c
+	s.nconns++
+}
+
+// deleteConn unlinks c (by identity) from its chain. It reports whether c
+// was indexed.
+func (s *Stack) deleteConn(c *Conn) bool {
+	k := c.tuple.key()
+	var prev *Conn
+	for cur := s.conns[k]; cur != nil; prev, cur = cur, cur.hashNext {
+		if cur != c {
+			continue
+		}
+		if prev == nil {
+			if cur.hashNext == nil {
+				delete(s.conns, k)
+			} else {
+				s.conns[k] = cur.hashNext
+			}
+		} else {
+			prev.hashNext = cur.hashNext
+		}
+		cur.hashNext = nil
+		s.nconns--
+		return true
+	}
+	return false
+}
+
 // Conns returns the current connections (copy).
 func (s *Stack) Conns() []*Conn {
-	out := make([]*Conn, 0, len(s.conns))
+	out := make([]*Conn, 0, s.nconns)
 	for _, c := range s.conns {
-		out = append(out, c)
+		for ; c != nil; c = c.hashNext {
+			out = append(out, c)
+		}
 	}
 	return out
 }
 
 // Lookup finds the connection for a tuple.
 func (s *Stack) Lookup(t Tuple) (*Conn, bool) {
-	c, ok := s.conns[t]
-	return c, ok
+	c := s.findConn(t)
+	return c, c != nil
 }
 
 // Rebind re-keys a connection to a new local address. The secondary bridge
@@ -303,18 +365,18 @@ func (s *Stack) Lookup(t Tuple) (*Conn, bool) {
 // layer established under its own address must continue under the failed
 // primary's address (paper section 5, step 5).
 func (s *Stack) Rebind(t Tuple, newLocal ipv4.Addr) error {
-	c, ok := s.conns[t]
-	if !ok {
+	c := s.findConn(t)
+	if c == nil {
 		return fmt.Errorf("tcp: rebind: no connection %s", t)
 	}
 	nt := t
 	nt.LocalAddr = newLocal
-	if _, exists := s.conns[nt]; exists {
+	if s.findConn(nt) != nil {
 		return fmt.Errorf("%w: rebind target %s", ErrPortInUse, nt)
 	}
-	delete(s.conns, t)
+	s.deleteConn(c)
 	c.tuple = nt
-	s.conns[nt] = c
+	s.insertConn(c)
 	return nil
 }
 
@@ -332,7 +394,7 @@ func (s *Stack) Input(src, dst ipv4.Addr, b []byte) {
 		return
 	}
 	t := Tuple{LocalAddr: dst, LocalPort: seg.DstPort, RemoteAddr: src, RemotePort: seg.SrcPort}
-	if c, ok := s.conns[t]; ok {
+	if c := s.findConn(t); c != nil {
 		c.input(seg)
 		return
 	}
@@ -350,7 +412,7 @@ func (s *Stack) accept(l *Listener, t Tuple, syn *Segment) {
 	c := s.newConn(t)
 	c.state = StateSynReceived
 	c.listener = l
-	s.conns[t] = c
+	s.insertConn(c)
 	c.irs = syn.Seq
 	c.rcvNxt = syn.Seq.Add(1)
 	c.setSndWnd(int(syn.Window))
@@ -382,7 +444,5 @@ func (s *Stack) sendRST(t Tuple, seg *Segment) {
 }
 
 func (s *Stack) removeConn(c *Conn) {
-	if cur, ok := s.conns[c.tuple]; ok && cur == c {
-		delete(s.conns, c.tuple)
-	}
+	s.deleteConn(c)
 }

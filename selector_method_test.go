@@ -33,11 +33,7 @@ func TestPerSocketFailoverEnabling(t *testing.T) {
 	// The client's deterministic stack allocates ephemeral ports from
 	// 49152, so the application can register its connection up front —
 	// the moral equivalent of setting the socket option before connect.
-	sc.Group.Selector().EnableTuple(core.TupleKey{
-		PeerAddr:  tcpfailover.ClientAddr,
-		PeerPort:  49152,
-		LocalPort: 7070,
-	})
+	sc.Group.Selector().EnableTuple(core.MakeTupleKey(tcpfailover.ClientAddr, 49152, 7070))
 
 	protected := startEchoClientPort(t, sc, 96*1024, 7070) // gets port 49152
 	if err := sc.RunUntil(func() bool { return protected.received > 16*1024 }, time.Minute); err != nil {
