@@ -11,10 +11,14 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|failtimeline]
 //	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
 //	               [-faultrates R1,R2,...] [-connscale N1,N2,...] [-json]
-//	               [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	               [-metrics-out FILE] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//
+// With -metrics-out, one instrumented failover scenario is run after the
+// experiments and its metrics registry is written to FILE — JSON when the
+// name ends in .json, Prometheus text exposition format otherwise.
 package main
 
 import (
@@ -38,7 +42,7 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, failtimeline")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
 		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
@@ -48,6 +52,8 @@ func main() {
 		connScale = flag.String("connscale", "",
 			"comma-separated connection counts for the connection-scale sweep (default 100,1000,10000)")
 		jsonOut    = flag.Bool("json", false, "also write "+trajectoryFile)
+		metricsOut = flag.String("metrics-out", "",
+			"write a metrics snapshot from one failover scenario to this file (.json or Prometheus text)")
 		workers    = flag.Int("workers", bench.Workers, "simulation worker goroutines")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,7 +85,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
-	runErr := run(cfg, *jsonOut)
+	runErr := run(cfg, *jsonOut, *metricsOut)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -149,7 +155,7 @@ func startProfiles(cpu, mem, tr string) (func() error, error) {
 	}, nil
 }
 
-func run(cfg bench.Config, jsonOut bool) error {
+func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	t, err := bench.RunAll(cfg)
 	if err != nil {
 		return err
@@ -181,6 +187,15 @@ func run(cfg bench.Config, jsonOut bool) error {
 	}
 	if r.ConnScale != nil {
 		connScaleOut(r.ConnScale)
+	}
+	if r.Timeline != nil {
+		timeline(*r.Timeline)
+	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (metrics snapshot, one failover scenario)\n", metricsOut)
 	}
 	if jsonOut {
 		blob, err := json.MarshalIndent(t, "", "  ")
@@ -351,4 +366,41 @@ func failover(r bench.FailoverResult) {
 	fmt.Printf("measured: stall median %v, max %v over %d runs; streams intact: %v\n",
 		r.StallMedian, r.StallMax, r.N, r.AllIntact)
 	fmt.Println()
+}
+
+func timeline(r bench.TimelineResult) {
+	fmt.Println("=== E9 (extension): failover timeline, phase breakdown ===")
+	fmt.Println("(reconstructed from a client-side flight recorder plus the")
+	fmt.Println(" detector/takeover hooks; medians over the crash runs)")
+	fmt.Printf("%-24s %14s\n", "phase", "median")
+	fmt.Printf("%-24s %14v\n", "detection", r.DetectionMedian)
+	fmt.Printf("%-24s %14v\n", "takeover + ARP announce", r.AnnounceMedian)
+	fmt.Printf("%-24s %14v\n", "redirection to client", r.ResumeMedian)
+	fmt.Printf("%-24s %14v\n", "client ack turnaround", r.AckTurnaroundMedian)
+	fmt.Printf("%-24s %14v (max %v, n=%d)\n", "total", r.TotalMedian, r.TotalMax, r.N)
+	fmt.Println("sample run 0:")
+	_ = r.Sample.WriteText(os.Stdout)
+	fmt.Println()
+}
+
+// writeMetrics runs the instrumented failover scenario and dumps its
+// registry — JSON for .json files, Prometheus text otherwise.
+func writeMetrics(path string) error {
+	reg, err := bench.CollectMetrics()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f)
+	} else {
+		err = reg.DumpText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

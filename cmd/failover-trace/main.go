@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	failover-trace [-bytes N] [-crash-at N] [-no-crash] [-hosts client,primary,secondary,router]
+//	failover-trace [-bytes N] [-crash-at N] [-no-crash] [-hosts client,primary,secondary,router] [-pcap out.pcap]
+//
+// With -pcap, every traced host also feeds the obs flight recorder and the
+// capture is written as a standard pcap file (or pcapng when the file name
+// ends in .pcapng), readable by tcpdump and Wireshark.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"tcpfailover"
 	"tcpfailover/internal/apps"
 	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/trace"
 )
 
@@ -32,15 +37,16 @@ func main() {
 		noCrash = flag.Bool("no-crash", false, "fault-free run")
 		hosts   = flag.String("hosts", "client,primary,secondary,router",
 			"comma-separated hosts to trace")
+		pcapOut = flag.String("pcap", "", "write the traced packets to this pcap (or .pcapng) file")
 	)
 	flag.Parse()
-	if err := run(*total, *crashAt, *noCrash, *hosts); err != nil {
+	if err := run(*total, *crashAt, *noCrash, *hosts, *pcapOut); err != nil {
 		fmt.Fprintln(os.Stderr, "failover-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(total, crashAt int64, noCrash bool, hosts string) error {
+func run(total, crashAt int64, noCrash bool, hosts, pcapOut string) error {
 	opts := tcpfailover.LANOptions()
 	opts.ServerPorts = []uint16{7}
 	sc, err := tcpfailover.NewScenario(opts)
@@ -62,12 +68,21 @@ func run(total, crashAt int64, noCrash bool, hosts string) error {
 		"secondary": sc.Secondary,
 		"router":    sc.Router,
 	}
+	var rec *obs.Recorder
+	if pcapOut != "" {
+		// Generous bound: every traced event fits, so the file holds the
+		// whole run rather than the tail.
+		rec = obs.NewRecorder(1<<20, obs.DefaultSnapLen)
+	}
 	for _, name := range strings.Split(hosts, ",") {
 		h, ok := byName[strings.TrimSpace(name)]
 		if !ok {
 			return fmt.Errorf("unknown host %q", name)
 		}
 		tr.Attach(h)
+		if rec != nil {
+			h.AttachRecorder(rec)
+		}
 	}
 
 	if crashAt < 0 {
@@ -127,5 +142,28 @@ func run(total, crashAt int64, noCrash bool, hosts string) error {
 		return err
 	}
 	fmt.Printf("%12s ***           connection closed\n", fmt.Sprintf("%.6f", sc.Now().Seconds()))
+	if rec != nil {
+		if err := writeCapture(pcapOut, rec); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d packets to %s\n", rec.Len(), pcapOut)
+	}
 	return nil
+}
+
+func writeCapture(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	recs := rec.Records()
+	if strings.HasSuffix(path, ".pcapng") {
+		err = obs.WritePcapNG(f, recs)
+	} else {
+		err = obs.WritePcap(f, recs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailoverTimelineDeterministic is the E9 gate: at a fixed seed set the
+// reconstructed timelines — and therefore the marshalled result and the
+// rendered phase breakdown — must be byte-identical across runs and worker
+// counts.
+func TestFailoverTimelineDeterministic(t *testing.T) {
+	run := func(workers int) (TimelineResult, string) {
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		r, err := FailoverTimeline(3)
+		if err != nil {
+			t.Fatalf("FailoverTimeline(workers=%d): %v", workers, err)
+		}
+		blob, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, string(blob)
+	}
+	r1, blob1 := run(1)
+	_, blob2 := run(4)
+	if blob1 != blob2 {
+		t.Fatalf("timeline results differ across worker counts:\n%s\n%s", blob1, blob2)
+	}
+	_, blob3 := run(4)
+	if blob2 != blob3 {
+		t.Fatalf("timeline results differ across identical runs:\n%s\n%s", blob2, blob3)
+	}
+
+	var sb1, sb2 strings.Builder
+	if err := r1.Sample.WriteText(&sb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Sample.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Fatalf("WriteText not deterministic:\n%s\n%s", sb1.String(), sb2.String())
+	}
+}
+
+// TestFailoverTimelineShape checks the reconstruction against the known
+// structure of a LAN failover: detection is bounded by the detector timeout
+// plus one check period, the ARP announce is synchronous with the takeover
+// procedure, and every phase timestamp is ordered.
+func TestFailoverTimelineShape(t *testing.T) {
+	r, err := FailoverTimeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := r.Sample
+	if !(tl.FailureInjected < tl.DetectorFired &&
+		tl.DetectorFired <= tl.TakeoverDone &&
+		tl.TakeoverDone < tl.FirstServerSegment &&
+		tl.FirstServerSegment < tl.ClientAckResumed) {
+		t.Fatalf("milestones out of order: %+v", tl)
+	}
+	// LANOptions detector: 10 ms period, 50 ms timeout -> detection lands
+	// in (timeout, timeout+period] plus sub-ms delivery jitter.
+	if d := r.DetectionMedian; d < 40*time.Millisecond || d > 70*time.Millisecond {
+		t.Errorf("detection median %v outside the detector's timeout window", d)
+	}
+	if r.AnnounceMedian > time.Millisecond {
+		t.Errorf("announce median %v: the gratuitous ARP should go out with the takeover", r.AnnounceMedian)
+	}
+	if r.TotalMedian <= r.DetectionMedian {
+		t.Errorf("total %v not greater than detection %v", r.TotalMedian, r.DetectionMedian)
+	}
+}
+
+// TestCollectMetricsSnapshot checks the -metrics-out workload: the failover
+// scenario must produce a registry whose core counters saw traffic.
+func TestCollectMetricsSnapshot(t *testing.T) {
+	reg, err := CollectMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		`tcp_segments_in_total{host="client"}`,
+		`tcp_segments_out_total{host="client"}`,
+		`bridge_snooped_in_total{host="secondary"}`,
+		`bridge_diverted_out_total{host="secondary"}`,
+		`bridge_bytes_matched_total{host="primary"}`,
+	} {
+		v, ok := reg.Lookup(name)
+		if !ok {
+			t.Errorf("series %s missing from registry", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("series %s = %d, want > 0", name, v)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.DumpText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE tcp_segments_in_total counter") {
+		t.Error("DumpText missing TYPE line for tcp_segments_in_total")
+	}
+}

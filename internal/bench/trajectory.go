@@ -10,9 +10,9 @@ import (
 // parameters. It mirrors the failover-bench command-line flags.
 type Config struct {
 	// Experiments names the experiments to run: connscale, connsetup,
-	// fig3, fig4, fig5, fig6, ablate, failover, faultsweep. Empty or
-	// containing "all" runs everything. Execution order is always the
-	// canonical order above, regardless of the order named here.
+	// fig3, fig4, fig5, fig6, ablate, failover, faultsweep, failtimeline.
+	// Empty or containing "all" runs everything. Execution order is always
+	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
 	Conns       int      `json:"conns"`  // connections for E1
 	Reps        int      `json:"reps"`   // repetitions per data point (E2, E3, E5)
@@ -37,7 +37,7 @@ type Config struct {
 // serving 10k connections rather than one that just churned through eight
 // other workloads (measured: ~15% inflation at the 10k point when it runs
 // last, even after returning the dirtied heap to the OS).
-var experimentOrder = []string{"connscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep"}
+var experimentOrder = []string{"connscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline"}
 
 // enabled expands Config.Experiments into a membership set, rejecting
 // unknown names.
@@ -82,6 +82,7 @@ type Results struct {
 	Ablation   []AblationRow     `json:"ablation,omitempty"`
 	Failover   *FailoverResult   `json:"failover,omitempty"`
 	FaultSweep []FaultPoint      `json:"fault_sweep,omitempty"`
+	Timeline   *TimelineResult   `json:"timeline,omitempty"`
 	// ConnScale is the one Results member with host-dependent fields
 	// (wall-clock and allocation counters); the determinism test compares
 	// the experiments above, which are functions of the seeds only.
@@ -271,6 +272,18 @@ func RunAll(cfg Config) (*Trajectory, error) {
 			var err error
 			t.Results.FaultSweep, err = FaultSweep(cfg.FaultRates, cfg.Runs)
 			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["failtimeline"] {
+		if err := t.measure("failtimeline", func() error {
+			r, err := FailoverTimeline(cfg.Runs)
+			if err != nil {
+				return err
+			}
+			t.Results.Timeline = &r
+			return nil
 		}); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"tcpfailover/internal/obs"
+)
+
+// series appends a host label to a metric name when the host is known.
+func series(name, host string) string {
+	if host == "" {
+		return name
+	}
+	return fmt.Sprintf("%s{host=%q}", name, host)
+}
+
+// primaryMetrics are the primary bridge's pre-resolved observability
+// handles. Always populated — with discard handles until AttachObs — so the
+// merge path updates them unconditionally without branching or allocating.
+type primaryMetrics struct {
+	queueBytes       obs.Gauge   // bytes parked in pq+sq across all conns
+	matchedBytes     obs.Counter // bytes matched between the replica streams
+	releasedBytes    obs.Counter // payload bytes released toward the client
+	seqTranslations  obs.Counter // Δseq applications (seq or ack rewrites)
+	badChecksumDrops obs.Counter // diverted segments dropped by verifyDiverted
+}
+
+func newPrimaryMetrics(reg *obs.Registry, host string) primaryMetrics {
+	return primaryMetrics{
+		queueBytes:       reg.Gauge(series("bridge_queue_bytes", host)),
+		matchedBytes:     reg.Counter(series("bridge_bytes_matched_total", host)),
+		releasedBytes:    reg.Counter(series("bridge_bytes_released_total", host)),
+		seqTranslations:  reg.Counter(series("bridge_seq_translations_total", host)),
+		badChecksumDrops: reg.Counter(series("bridge_bad_checksum_drops_total", host)),
+	}
+}
+
+// AttachObs resolves the bridge's metric handles against reg, labeled with
+// the host name. Call at scenario build time, before traffic flows: the
+// BadChecksumDrops counter is the source of truth behind Stats(), and the
+// queue gauge tracks deltas, so attaching mid-stream would lose history.
+func (b *PrimaryBridge) AttachObs(reg *obs.Registry, host string) {
+	b.m = newPrimaryMetrics(reg, host)
+}
+
+// secondaryMetrics are the secondary bridge's pre-resolved handles.
+type secondaryMetrics struct {
+	snoopedIn   obs.Counter
+	divertedOut obs.Counter
+}
+
+func newSecondaryMetrics(reg *obs.Registry, host string) secondaryMetrics {
+	return secondaryMetrics{
+		snoopedIn:   reg.Counter(series("bridge_snooped_in_total", host)),
+		divertedOut: reg.Counter(series("bridge_diverted_out_total", host)),
+	}
+}
+
+// AttachObs resolves the bridge's metric handles against reg, labeled with
+// the host name.
+func (b *SecondaryBridge) AttachObs(reg *obs.Registry, host string) {
+	b.m = newSecondaryMetrics(reg, host)
+}

@@ -124,6 +124,7 @@ type PrimaryBridge struct {
 	emitPayload []byte
 
 	stats PrimaryStats
+	m     primaryMetrics
 	// OnDivergence, if set, is called when replica outputs differ.
 	OnDivergence func(key TupleKey, seq tcp.Seq)
 }
@@ -148,6 +149,7 @@ func NewPrimaryBridgeCore(host *netstack.Host, primaryAddr, secondaryAddr ipv4.A
 		sel:   sel,
 		cfg:   cfg.withDefaults(),
 		conns: make(map[TupleKey]*pconn),
+		m:     newPrimaryMetrics(nil, ""),
 	}
 	b.emit = func(client ipv4.Addr, pkt *netbuf.Buffer) {
 		_ = b.host.SendIPFastBuf(b.aP, client, ipv4.ProtoTCP, pkt)
@@ -182,8 +184,14 @@ func (b *PrimaryBridge) LocalAddr() ipv4.Addr { return b.aP }
 // when a daisy chain loses its middle and the tail attaches directly).
 func (b *PrimaryBridge) SetMatchingPeer(a ipv4.Addr) { b.aS = a }
 
-// Stats returns a copy of the bridge counters.
-func (b *PrimaryBridge) Stats() PrimaryStats { return b.stats }
+// Stats returns a copy of the bridge counters. BadChecksumDrops lives in
+// the obs registry (the bridge's counter handle is its source of truth);
+// the returned struct is filled from it for API compatibility.
+func (b *PrimaryBridge) Stats() PrimaryStats {
+	s := b.stats
+	s.BadChecksumDrops = b.m.badChecksumDrops.Value()
+	return s
+}
 
 // Degraded reports whether the bridge has switched to single-server
 // operation after a secondary failure.
@@ -267,6 +275,7 @@ func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 			return true // cannot translate yet; TCP will retransmit
 		}
 		sSeq := tcp.RawSeq(segment) - c.delta
+		b.m.seqTranslations.Inc()
 		if flags.Has(tcp.FlagACK) {
 			c.ackP = tcp.RawAck(segment)
 			c.ackPSet = true
@@ -291,7 +300,7 @@ func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 // segment instead lets the secondary's TCP retransmit it.
 func (b *PrimaryBridge) verifyDiverted(hdr ipv4.Header, payload []byte) bool {
 	if tcp.ComputeChecksum(hdr.Src, hdr.Dst, payload) != 0 {
-		b.stats.BadChecksumDrops++
+		b.m.badChecksumDrops.Inc()
 		return false
 	}
 	return true
@@ -369,6 +378,7 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		// P's TCP layer recognizes it. (The client acknowledges sequence
 		// numbers in the secondary's space.)
 		tcp.SetRawAck(payload, ackS+c.delta)
+		b.m.seqTranslations.Inc()
 	}
 	if flags.Has(tcp.FlagFIN) {
 		c.clientFinSeen = true
@@ -542,7 +552,11 @@ func (b *PrimaryBridge) ingestServerSegment(c *pconn, sSeq tcp.Seq, payload []by
 		if fromPrimary {
 			q = c.pq
 		}
+		// Insert trims duplicates below the floor, so the gauge tracks the
+		// realized growth rather than the raw payload length.
+		before := q.Len()
 		q.Insert(sSeq, payload)
+		b.m.queueBytes.Add(int64(q.Len() - before))
 	}
 }
 
@@ -568,10 +582,10 @@ func (b *PrimaryBridge) pump(c *pconn) {
 			// bytes move into the bridge's reusable scratch first.
 			b.emitPayload = append(b.emitPayload[:0], sb[:n]...)
 			seq := c.sndMax
-			c.pq.Advance(n)
-			c.sq.Advance(n)
+			b.qAdvance(c, n)
 			c.sndMax = c.sndMax.Add(n)
 			b.stats.BytesMatched += int64(n)
+			b.m.matchedBytes.Add(int64(n))
 			out := &b.emitSeg
 			*out = tcp.Segment{
 				Seq:     seq,
@@ -718,6 +732,7 @@ func (b *PrimaryBridge) forwardRST(c *pconn, segment []byte, fromPrimary bool) {
 	if fromPrimary {
 		if c.deltaKnown {
 			seq -= c.delta
+			b.m.seqTranslations.Inc()
 		} else if !tcp.RawFlags(segment).Has(tcp.FlagACK) {
 			// Cannot express the reset in the client's sequence space.
 			return
@@ -741,6 +756,7 @@ func (b *PrimaryBridge) emitToClient(c *pconn, seg *tcp.Segment) {
 	copy(tcp.MarshalReserve(pkt, seg, len(seg.Payload)), seg.Payload)
 	tcp.SealChecksum(b.aP, c.key.PeerAddr(), pkt.Bytes())
 	b.stats.SegmentsToClient++
+	b.m.releasedBytes.Add(int64(len(seg.Payload)))
 	if seg.Flags.Has(tcp.FlagACK) {
 		c.lastAckSent = seg.Ack
 		c.lastAckValid = true
@@ -791,10 +807,26 @@ func (b *PrimaryBridge) maybeGC(c *pconn) {
 	b.removeConn(c)
 }
 
+// qAdvance discards n matched bytes from both queues and keeps the queue
+// gauge in step. The secondary queue may hold fewer than n bytes (degraded
+// drain), so the gauge moves by the realized shrinkage, not 2n.
+func (b *PrimaryBridge) qAdvance(c *pconn, n int) {
+	before := c.pq.Len() + c.sq.Len()
+	c.pq.Advance(n)
+	c.sq.Advance(n)
+	b.m.queueBytes.Add(int64(c.pq.Len() + c.sq.Len() - before))
+}
+
 func (b *PrimaryBridge) removeConn(c *pconn) {
 	if _, ok := b.conns[c.key]; ok {
 		delete(b.conns, c.key)
 		b.stats.ConnsClosed++
+		if c.pq != nil {
+			b.m.queueBytes.Add(int64(-c.pq.Len()))
+		}
+		if c.sq != nil {
+			b.m.queueBytes.Add(int64(-c.sq.Len()))
+		}
 	}
 }
 
@@ -831,8 +863,7 @@ func (b *PrimaryBridge) HandleSecondaryFailure() {
 				Window:  c.minWin(true),
 				Payload: append([]byte(nil), data[:n]...),
 			}
-			c.pq.Advance(n)
-			c.sq.Advance(n)
+			b.qAdvance(c, n)
 			c.sndMax = c.sndMax.Add(n)
 			if b.finsMatchedAt(c, c.sndMax) && c.pq.Len() == 0 {
 				out.Flags |= tcp.FlagFIN

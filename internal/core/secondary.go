@@ -51,6 +51,12 @@ type SecondaryBridge struct {
 	flows map[TupleKey]*sflow
 
 	stats SecondaryStats
+	m     secondaryMetrics
+
+	// OnTakeover, if set, is called when Takeover completes — after the
+	// gratuitous ARP announcing the primary's address has been broadcast.
+	// The failover timeline analyzer timestamps its ARP phase here.
+	OnTakeover func()
 }
 
 // sflow is a cached per-flow decision of the secondary bridge.
@@ -100,6 +106,7 @@ func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondary
 		active:   true,
 		conns:    make(map[TupleKey]tcp.Tuple),
 		flows:    make(map[TupleKey]*sflow),
+		m:        newSecondaryMetrics(nil, ""),
 	}
 	host.Iface(ifIndex).NIC().SetPromiscuous(true)
 	host.SetInboundHook(b.inbound)
@@ -133,6 +140,7 @@ func (b *SecondaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) 
 		tcp.ClampRawMSS(payload, origDstOptionLen)
 	}
 	b.stats.SnoopedIn++
+	b.m.snoopedIn.Inc()
 	return netstack.VerdictDeliver, hdr, payload
 }
 
@@ -160,6 +168,7 @@ func (b *SecondaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	// The checksum must reflect the new pseudo-header destination.
 	tcp.PatchPseudoAddr(out, dst, b.upstream)
 	b.stats.DivertedOut++
+	b.m.divertedOut.Inc()
 	_ = b.host.SendIPFastBuf(src, b.upstream, ipv4.ProtoTCP, pkt)
 	return true
 }
@@ -204,6 +213,9 @@ func (b *SecondaryBridge) Takeover() error {
 	}
 	if err := b.host.Iface(b.ifIndex).ARP().Announce(b.aP); err != nil {
 		return err
+	}
+	if b.OnTakeover != nil {
+		b.OnTakeover()
 	}
 	// Resume sending: kick retransmission of anything lost during the
 	// reconfiguration by letting the TCP timers run; nothing else to do.

@@ -114,12 +114,12 @@ func TestSecondaryOutboundDiversion(t *testing.T) {
 	f := newSecFixture(t)
 	var sentTo ipv4.Addr
 	var sentRaw []byte
-	f.host.PacketTap = func(dir string, hdr ipv4.Header, payload []byte) {
+	f.host.AddPacketTap(func(dir string, hdr ipv4.Header, payload []byte) {
 		if dir == "tx" && hdr.Protocol == ipv4.ProtoTCP {
 			sentTo = hdr.Dst
 			sentRaw = append([]byte(nil), payload...)
 		}
-	}
+	})
 	seg := &tcp.Segment{SrcPort: 80, DstPort: 49152, Seq: 1000, Flags: tcp.FlagACK | tcp.FlagPSH,
 		Window: 65535, Payload: []byte("reply")}
 	raw := tcp.Marshal(f.aS, f.aC, seg)
@@ -158,11 +158,11 @@ func TestSecondaryRetargetAndTakeoverGating(t *testing.T) {
 	other := ipv4.MustParseAddr("10.0.1.9")
 	f.b.SetUpstream(other)
 	var sentTo ipv4.Addr
-	f.host.PacketTap = func(dir string, hdr ipv4.Header, payload []byte) {
+	f.host.AddPacketTap(func(dir string, hdr ipv4.Header, payload []byte) {
 		if dir == "tx" && hdr.Protocol == ipv4.ProtoTCP {
 			sentTo = hdr.Dst
 		}
-	}
+	})
 	seg := &tcp.Segment{SrcPort: 80, DstPort: 49152, Flags: tcp.FlagACK}
 	raw := tcp.Marshal(f.aS, f.aC, seg)
 	f.b.outbound(f.aS, f.aC, raw)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tcpfailover/internal/netbuf"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/sim"
 )
 
@@ -161,6 +162,11 @@ type Segment struct {
 	// impairment models through internal/fault instead.
 	dropTx func(f Frame) bool
 	dropRx func(dst *NIC, f Frame) bool
+
+	// Observability handles (discard slots until AttachObs).
+	mFrames     obs.Counter
+	mCollisions obs.Counter
+	mLost       obs.Counter
 }
 
 // TxVerdict is an Impairer's decision about one transmitted frame.
@@ -208,7 +214,20 @@ func (s *Segment) SetDropRxFilter(f func(dst *NIC, frame Frame) bool) { s.dropRx
 
 // NewSegment creates a segment managed by sched.
 func NewSegment(sched *sim.Scheduler, cfg Config) *Segment {
-	return &Segment{sched: sched, cfg: cfg.withDefaults()}
+	var nilReg *obs.Registry
+	return &Segment{sched: sched, cfg: cfg.withDefaults(),
+		mFrames:     nilReg.Counter("link_frames_total"),
+		mCollisions: nilReg.Counter("link_collisions_total"),
+		mLost:       nilReg.Counter("link_lost_total"),
+	}
+}
+
+// AttachObs resolves the segment's metric handles against reg, labeling
+// each series with the link name. Call once at scenario build time.
+func (s *Segment) AttachObs(reg *obs.Registry, link string) {
+	s.mFrames = reg.Counter(fmt.Sprintf("link_frames_total{link=%q}", link))
+	s.mCollisions = reg.Counter(fmt.Sprintf("link_collisions_total{link=%q}", link))
+	s.mLost = reg.Counter(fmt.Sprintf("link_lost_total{link=%q}", link))
 }
 
 // Stats returns a copy of the segment counters.
@@ -245,6 +264,7 @@ func (s *Segment) transmit(src *NIC, f Frame) {
 				s.sched.Rand().Float64() < s.cfg.CollisionProb && attempts < 10 {
 				attempts++
 				s.stats.Collisions++
+				s.mCollisions.Inc()
 				slots := s.sched.Rand().Intn(1 << min(attempts, 10))
 				start += s.serialization(0) + time.Duration(slots)*s.cfg.SlotTime
 				continue
@@ -255,15 +275,18 @@ func (s *Segment) transmit(src *NIC, f Frame) {
 	ser := s.serialization(len(f.Payload))
 	s.busyUntil = start + ser
 	s.stats.Frames++
+	s.mFrames.Inc()
 	s.stats.Bytes += int64(wireBytes(len(f.Payload)))
 
 	if s.cfg.LossRate > 0 && s.sched.Rand().Float64() < s.cfg.LossRate {
 		s.stats.Lost++
+		s.mLost.Inc()
 		f.release()
 		return
 	}
 	if s.dropTx != nil && s.dropTx(f) {
 		s.stats.Lost++
+		s.mLost.Inc()
 		f.release()
 		return
 	}
@@ -272,6 +295,7 @@ func (s *Segment) transmit(src *NIC, f Frame) {
 		verdict = s.impair.Tx(src, f)
 		if verdict.Drop {
 			s.stats.Lost++
+			s.mLost.Inc()
 			f.release()
 			return
 		}

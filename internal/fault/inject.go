@@ -1,9 +1,11 @@
 package fault
 
 import (
+	"fmt"
 	"time"
 
 	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/sim"
 )
 
@@ -62,6 +64,10 @@ type Injector struct {
 	rx    []*binding
 	stats Stats
 
+	// Observability handles (discard slots until attachObs).
+	mDropped obs.Counter
+	mDelayed obs.Counter
+
 	// onEvent, when set, observes every injected fault.
 	onEvent func(Event)
 }
@@ -69,8 +75,15 @@ type Injector struct {
 // newInjector creates an injector for the link and installs it on seg.
 func newInjector(sched *sim.Scheduler, link LinkID, seg *ethernet.Segment) *Injector {
 	inj := &Injector{sched: sched, link: link}
+	inj.attachObs(nil)
 	seg.SetImpairer(inj)
 	return inj
+}
+
+// attachObs resolves the injector's per-link counters against reg.
+func (inj *Injector) attachObs(reg *obs.Registry) {
+	inj.mDropped = reg.Counter(fmt.Sprintf("fault_drops_total{link=%q}", inj.link))
+	inj.mDelayed = reg.Counter(fmt.Sprintf("fault_delays_total{link=%q}", inj.link))
 }
 
 // Stats returns a copy of the injector's counters.
@@ -110,6 +123,7 @@ func (inj *Injector) Tx(src *ethernet.NIC, f ethernet.Frame) ethernet.TxVerdict 
 		v, dropper := b.judge(now, f.Payload)
 		if v.Drop {
 			inj.stats.Dropped++
+			inj.mDropped.Inc()
 			inj.event("drop", dropper, len(f.Payload))
 			out.Drop = true
 			return out
@@ -121,6 +135,7 @@ func (inj *Injector) Tx(src *ethernet.NIC, f ethernet.Frame) ethernet.TxVerdict 
 		}
 		if v.Delay > 0 {
 			inj.stats.Delayed++
+			inj.mDelayed.Inc()
 			inj.stats.ExtraDelay += v.Delay
 			inj.event("delay", "delay", len(f.Payload))
 			out.Delay += v.Delay
@@ -149,6 +164,7 @@ func (inj *Injector) Rx(dst *ethernet.NIC, f ethernet.Frame) bool {
 		inj.stats.Examined++
 		if v, dropper := b.judge(now, f.Payload); v.Drop {
 			inj.stats.Dropped++
+			inj.mDropped.Inc()
 			inj.event("drop", dropper, len(f.Payload))
 			return true
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/sim"
 )
 
@@ -33,6 +34,10 @@ type Set struct {
 
 	// onEvent forwards injected-fault events (trace integration).
 	onEvent func(Event)
+
+	// reg, when set, labels and resolves per-link injector counters;
+	// injectors created later attach themselves on creation.
+	reg *obs.Registry
 }
 
 // NewSet creates an empty fault set for the topology. seed must be the
@@ -45,6 +50,15 @@ func NewSet(sched *sim.Scheduler, seed int64, topo Topology) *Set {
 		topo:       topo,
 		injectors:  make(map[LinkID]*Injector),
 		partitions: make(map[string]*Partition),
+	}
+}
+
+// AttachObs resolves per-link fault counters (drops, delays) against reg
+// for every existing injector, and for injectors created afterwards.
+func (s *Set) AttachObs(reg *obs.Registry) {
+	s.reg = reg
+	for _, inj := range s.injectors {
+		inj.attachObs(reg)
 	}
 }
 
@@ -68,6 +82,9 @@ func (s *Set) injector(link LinkID) (*Injector, error) {
 	}
 	inj := newInjector(s.sched, link, seg)
 	inj.onEvent = s.onEvent
+	if s.reg != nil {
+		inj.attachObs(s.reg)
+	}
 	s.injectors[link] = inj
 	return inj, nil
 }

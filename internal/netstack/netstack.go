@@ -14,6 +14,7 @@ import (
 	"tcpfailover/internal/ethernet"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/sim"
 	"tcpfailover/internal/tcp"
 )
@@ -175,9 +176,42 @@ type Host struct {
 	// later same-flow frames into it. Nil until the first batched frame.
 	inPend map[flowKey]*pktEvent
 
-	// PacketTap, when set, observes every datagram the host receives
-	// (post-ingress-delay) and sends; used by the trace facility.
-	PacketTap func(dir string, hdr ipv4.Header, payload []byte)
+	// taps observe every datagram the host receives (post-ingress-delay)
+	// and sends. A fan-out list, not a single func: the trace facility, the
+	// obs flight recorder, and tests can all watch one host at once.
+	taps []PacketTapFunc
+
+	// napiBatch records the frame count of each batched TCP ingress
+	// delivery (a discard handle until AttachObs).
+	napiBatch obs.Histogram
+	// obsReg, when set, is handed to the TCP stack at creation.
+	obsReg *obs.Registry
+}
+
+// PacketTapFunc observes one datagram from the host's viewpoint; dir is
+// "rx" or "tx".
+type PacketTapFunc func(dir string, hdr ipv4.Header, payload []byte)
+
+// AddPacketTap appends a packet observer. Taps run in attachment order and
+// must not retain the payload slice past the call (it may be a pooled
+// buffer's bytes).
+func (h *Host) AddPacketTap(f PacketTapFunc) { h.taps = append(h.taps, f) }
+
+// AttachRecorder taps the host into an obs flight recorder: every datagram
+// the host receives or sends is captured (the recorder copies, so the
+// pooled payload is not retained).
+func (h *Host) AttachRecorder(rec *obs.Recorder) {
+	name, sched := h.name, h.sched
+	h.AddPacketTap(func(dir string, hdr ipv4.Header, payload []byte) {
+		rec.Record(sched.Now(), name, dir, hdr, payload)
+	})
+}
+
+// tap fans one datagram out to every attached observer.
+func (h *Host) tap(dir string, hdr ipv4.Header, payload []byte) {
+	for _, f := range h.taps {
+		f(dir, hdr, payload)
+	}
 }
 
 // NewHost creates a host.
@@ -188,6 +222,24 @@ func NewHost(sched *sim.Scheduler, name string, profile Profile) *Host {
 		profile:   profile,
 		alive:     true,
 		protocols: make(map[uint8][]func(ipv4.Header, []byte)),
+		napiBatch: (*obs.Registry)(nil).Histogram("net_napi_batch_frames", napiBatchBounds),
+	}
+}
+
+// napiBatchBounds bucket the NAPI delivery sizes; the top bucket is wide
+// open so oversized budgets still land somewhere meaningful.
+var napiBatchBounds = []int64{1, 2, 4, 8, 16, 32}
+
+// AttachObs resolves the host's metric handles against reg (labeled with
+// the host's name). The TCP stack's handles attach when the stack is
+// created — AttachObs deliberately does not create it, so SetTCPConfig
+// calls after scenario construction still take effect.
+func (h *Host) AttachObs(reg *obs.Registry) {
+	h.obsReg = reg
+	h.napiBatch = reg.Histogram(
+		fmt.Sprintf("net_napi_batch_frames{host=%q}", h.name), napiBatchBounds)
+	if h.tcpStack != nil {
+		h.tcpStack.AttachObs(reg, h.name)
 	}
 }
 
@@ -214,6 +266,9 @@ func (h *Host) SetTCPConfig(cfg tcp.Config) { h.tcpCfg = cfg }
 func (h *Host) TCP() *tcp.Stack {
 	if h.tcpStack == nil {
 		h.tcpStack = tcp.NewStack(h.sched, h.tcpCfg, h.tcpOutput, h.sourceAddrFor)
+		if h.obsReg != nil {
+			h.tcpStack.AttachObs(h.obsReg, h.name)
+		}
 	}
 	return h.tcpStack
 }
@@ -453,6 +508,7 @@ func runIPInput(v any) {
 	h := e.h
 	if e.pending {
 		delete(h.inPend, e.key)
+		h.napiBatch.Observe(int64(e.chained))
 	}
 	for e != nil {
 		next := e.next
@@ -471,8 +527,8 @@ func (h *Host) ipInput(ifc *Iface, hdr ipv4.Header, payload []byte, buf *netbuf.
 		releaseBuf(buf)
 		return
 	}
-	if h.PacketTap != nil {
-		h.PacketTap("rx", hdr, payload)
+	if len(h.taps) > 0 {
+		h.tap("rx", hdr, payload)
 	}
 	if h.inHook != nil && hdr.Protocol == ipv4.ProtoTCP {
 		verdict, nh, np := h.inHook(ifc.index, hdr, payload)
@@ -633,8 +689,8 @@ func (h *Host) transmit(hdr ipv4.Header, pkt *netbuf.Buffer) {
 		pkt.Release()
 		return
 	}
-	if h.PacketTap != nil {
-		h.PacketTap("tx", hdr, pkt.Bytes())
+	if len(h.taps) > 0 {
+		h.tap("tx", hdr, pkt.Bytes())
 	}
 	route, ok := h.routes.Lookup(hdr.Dst)
 	if !ok {

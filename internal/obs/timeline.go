@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+)
+
+// Failover timeline reconstruction. A failover has five observable
+// milestones:
+//
+//	failure injected      the experiment fail-stops the primary
+//	detector fired        the secondary's fault detector declares it dead
+//	gratuitous ARP        the takeover procedure finishes announcing aP
+//	first server segment  the first post-takeover TCP segment reaches the
+//	                      client from the service address (the secondary's
+//	                      stack now answers directly)
+//	client ack resumes    the client's first TCP segment back to the service
+//	                      address with ACK set — the connection is live again
+//
+// The first three come from in-simulation hooks (the experiment records
+// them as Marks); the last two are reconstructed from a flight recorder
+// attached to the client host. All values are virtual time, so a timeline
+// is a pure function of the scenario seed and renders byte-identically
+// across runs — the determinism gate relies on that.
+
+// Marks carries the hook-recorded milestones into Analyze.
+type Marks struct {
+	FailureInjected time.Duration `json:"failure_injected_ns"`
+	DetectorFired   time.Duration `json:"detector_fired_ns"`
+	TakeoverDone    time.Duration `json:"takeover_done_ns"`
+}
+
+// Timeline is one reconstructed failover: the five milestone timestamps.
+type Timeline struct {
+	FailureInjected    time.Duration `json:"failure_injected_ns"`
+	DetectorFired      time.Duration `json:"detector_fired_ns"`
+	TakeoverDone       time.Duration `json:"takeover_done_ns"`
+	FirstServerSegment time.Duration `json:"first_server_segment_ns"`
+	ClientAckResumed   time.Duration `json:"client_ack_resumed_ns"`
+}
+
+// Detection is the fault-detection phase: crash to detector firing.
+func (t Timeline) Detection() time.Duration { return t.DetectorFired - t.FailureInjected }
+
+// Announce is the takeover phase: detector firing to gratuitous ARP sent.
+func (t Timeline) Announce() time.Duration { return t.TakeoverDone - t.DetectorFired }
+
+// Resume is the redirection phase: ARP sent to the first segment from the
+// secondary reaching the client (includes the router's ARP-table update).
+func (t Timeline) Resume() time.Duration { return t.FirstServerSegment - t.TakeoverDone }
+
+// AckTurnaround is the client-side phase: first secondary segment to the
+// client's first ACK back.
+func (t Timeline) AckTurnaround() time.Duration { return t.ClientAckResumed - t.FirstServerSegment }
+
+// Total is the whole failover window as the client experiences it.
+func (t Timeline) Total() time.Duration { return t.ClientAckResumed - t.FailureInjected }
+
+// ErrIncompleteTimeline reports that a milestone could not be found.
+var ErrIncompleteTimeline = errors.New("obs: incomplete failover timeline")
+
+const tcpAckFlag = 0x10
+
+// Analyze reconstructs a failover timeline from a client-host capture.
+// recs must come from a recorder attached to the client; service is the
+// address clients connect to (the failed primary's, taken over by the
+// secondary). The package deliberately does not import internal/tcp, so
+// the two TCP fields it needs — the flags byte — are read by offset.
+func Analyze(recs []Record, marks Marks, service ipv4.Addr) (Timeline, error) {
+	t := Timeline{
+		FailureInjected: marks.FailureInjected,
+		DetectorFired:   marks.DetectorFired,
+		TakeoverDone:    marks.TakeoverDone,
+	}
+	if !(marks.FailureInjected <= marks.DetectorFired && marks.DetectorFired <= marks.TakeoverDone) {
+		return t, fmt.Errorf("%w: marks out of order (%v, %v, %v)",
+			ErrIncompleteTimeline, marks.FailureInjected, marks.DetectorFired, marks.TakeoverDone)
+	}
+	for _, r := range recs {
+		if r.Hdr.Protocol != ipv4.ProtoTCP || len(r.Payload) < 14 {
+			continue
+		}
+		if t.FirstServerSegment == 0 {
+			// Anything from the service address after the gratuitous ARP was
+			// sent by the secondary: the primary is fail-stopped and the
+			// server LAN is microseconds wide, so nothing of the primary's
+			// survives the ≥ detection-timeout gap in flight.
+			if r.Dir == DirRx && r.Hdr.Src == service && r.Time >= marks.TakeoverDone {
+				t.FirstServerSegment = r.Time
+			}
+			continue
+		}
+		if r.Dir == DirTx && r.Hdr.Dst == service && r.Payload[13]&tcpAckFlag != 0 {
+			t.ClientAckResumed = r.Time
+			return t, nil
+		}
+	}
+	if t.FirstServerSegment == 0 {
+		return t, fmt.Errorf("%w: no post-takeover segment from %v in %d records",
+			ErrIncompleteTimeline, service, len(recs))
+	}
+	return t, fmt.Errorf("%w: no client ACK after first server segment at %v",
+		ErrIncompleteTimeline, t.FirstServerSegment)
+}
+
+// WriteText renders the timeline as a fixed-layout phase breakdown. The
+// output is a pure function of the timeline values.
+func (t Timeline) WriteText(w io.Writer) error {
+	rows := []struct {
+		label string
+		at    time.Duration
+		phase time.Duration
+	}{
+		{"failure injected", t.FailureInjected, 0},
+		{"detector fired", t.DetectorFired, t.Detection()},
+		{"gratuitous ARP sent", t.TakeoverDone, t.Announce()},
+		{"first server segment", t.FirstServerSegment, t.Resume()},
+		{"client ack resumed", t.ClientAckResumed, t.AckTurnaround()},
+	}
+	for i, row := range rows {
+		delta := ""
+		if i > 0 {
+			delta = "+" + row.phase.String()
+		}
+		if _, err := fmt.Fprintf(w, "%-22s %14.9f  %s\n", row.label, row.at.Seconds(), delta); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-22s %14s  %s\n", "total", "", t.Total())
+	return err
+}

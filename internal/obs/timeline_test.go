@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpfailover/internal/ipv4"
+)
+
+var (
+	tlService = ipv4.AddrFrom4(10, 0, 1, 1)
+	tlClient  = ipv4.AddrFrom4(10, 0, 2, 1)
+)
+
+// tcpSeg builds a minimal TCP header payload with the given flags byte.
+func tcpSeg(flags byte) []byte {
+	p := make([]byte, 20)
+	p[12] = 5 << 4 // data offset
+	p[13] = flags
+	return p
+}
+
+func tlRecord(at time.Duration, dir uint8, src, dst ipv4.Addr, flags byte) Record {
+	return Record{
+		Time:    at,
+		Host:    "client",
+		Dir:     dir,
+		Hdr:     ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst},
+		Len:     20,
+		Payload: tcpSeg(flags),
+	}
+}
+
+func tlMarks() Marks {
+	return Marks{
+		FailureInjected: 40 * time.Millisecond,
+		DetectorFired:   90 * time.Millisecond,
+		TakeoverDone:    90 * time.Millisecond,
+	}
+}
+
+func TestAnalyzeReconstructsPhases(t *testing.T) {
+	recs := []Record{
+		// Pre-takeover traffic must be ignored, including rx from the service.
+		tlRecord(10*time.Millisecond, DirRx, tlService, tlClient, 0x10),
+		tlRecord(10*time.Millisecond, DirTx, tlClient, tlService, 0x10),
+		// Heartbeats and other protocols never count.
+		{Time: 95 * time.Millisecond, Dir: DirRx,
+			Hdr: ipv4.Header{Protocol: ipv4.ProtoHeartbeat, Src: tlService, Dst: tlClient}},
+		// First post-takeover segment from the service.
+		tlRecord(120*time.Millisecond, DirRx, tlService, tlClient, 0x18),
+		// A tx to somewhere else must not end the scan.
+		tlRecord(121*time.Millisecond, DirTx, tlClient, ipv4.AddrFrom4(10, 0, 9, 9), 0x10),
+		// The resuming ACK.
+		tlRecord(125*time.Millisecond, DirTx, tlClient, tlService, 0x10),
+		tlRecord(130*time.Millisecond, DirTx, tlClient, tlService, 0x10),
+	}
+	tl, err := Analyze(recs, tlMarks(), tlService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.FirstServerSegment != 120*time.Millisecond {
+		t.Errorf("FirstServerSegment = %v, want 120ms", tl.FirstServerSegment)
+	}
+	if tl.ClientAckResumed != 125*time.Millisecond {
+		t.Errorf("ClientAckResumed = %v, want 125ms", tl.ClientAckResumed)
+	}
+	if tl.Detection() != 50*time.Millisecond {
+		t.Errorf("Detection = %v, want 50ms", tl.Detection())
+	}
+	if tl.Resume() != 30*time.Millisecond {
+		t.Errorf("Resume = %v, want 30ms", tl.Resume())
+	}
+	if tl.AckTurnaround() != 5*time.Millisecond {
+		t.Errorf("AckTurnaround = %v, want 5ms", tl.AckTurnaround())
+	}
+	if tl.Total() != 85*time.Millisecond {
+		t.Errorf("Total = %v, want 85ms", tl.Total())
+	}
+}
+
+func TestAnalyzeIncomplete(t *testing.T) {
+	// No post-takeover server segment at all.
+	recs := []Record{
+		tlRecord(10*time.Millisecond, DirRx, tlService, tlClient, 0x10),
+	}
+	if _, err := Analyze(recs, tlMarks(), tlService); !errors.Is(err, ErrIncompleteTimeline) {
+		t.Fatalf("err = %v, want ErrIncompleteTimeline", err)
+	}
+	// Server segment but no client ACK after it.
+	recs = append(recs, tlRecord(120*time.Millisecond, DirRx, tlService, tlClient, 0x18))
+	if _, err := Analyze(recs, tlMarks(), tlService); !errors.Is(err, ErrIncompleteTimeline) {
+		t.Fatalf("err = %v, want ErrIncompleteTimeline", err)
+	}
+	// Marks out of order.
+	bad := Marks{FailureInjected: 2 * time.Second, DetectorFired: time.Second, TakeoverDone: 3 * time.Second}
+	if _, err := Analyze(nil, bad, tlService); !errors.Is(err, ErrIncompleteTimeline) {
+		t.Fatalf("err = %v, want ErrIncompleteTimeline", err)
+	}
+}
+
+func TestTimelineWriteTextGolden(t *testing.T) {
+	tl := Timeline{
+		FailureInjected:    40 * time.Millisecond,
+		DetectorFired:      90 * time.Millisecond,
+		TakeoverDone:       90 * time.Millisecond,
+		FirstServerSegment: 120 * time.Millisecond,
+		ClientAckResumed:   125 * time.Millisecond,
+	}
+	var sb strings.Builder
+	if err := tl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"failure injected          0.040000000  \n" +
+		"detector fired            0.090000000  +50ms\n" +
+		"gratuitous ARP sent       0.090000000  +0s\n" +
+		"first server segment      0.120000000  +30ms\n" +
+		"client ack resumed        0.125000000  +5ms\n" +
+		"total                                  85ms\n"
+	if sb.String() != want {
+		t.Errorf("WriteText mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

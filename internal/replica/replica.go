@@ -66,6 +66,12 @@ type Group struct {
 	// the argument is the role that failed.
 	OnFailover func(failed Role)
 
+	// OnPrimaryFailureDetected, if set, runs the moment the secondary's
+	// fault detector declares the primary failed — before the takeover
+	// procedure starts. The failover timeline analyzer timestamps its
+	// detection phase here.
+	OnPrimaryFailureDetected func()
+
 	started bool
 }
 
@@ -101,6 +107,9 @@ func NewGroup(primary, secondary *netstack.Host, cfg Config) (*Group, error) {
 		}
 	})
 	g.detectOnSecondary = detect.New(secondary, aS, aP, cfg.Detect, func() {
+		if g.OnPrimaryFailureDetected != nil {
+			g.OnPrimaryFailureDetected()
+		}
 		_ = g.sb.Takeover()
 		if g.OnFailover != nil {
 			g.OnFailover(RolePrimary)

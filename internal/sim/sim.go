@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"tcpfailover/internal/obs"
 )
 
 // ErrEventLimit is returned by Run when the configured safety limit on the
@@ -126,6 +128,12 @@ type Scheduler struct {
 	limit    int
 	executed int
 	halted   bool
+
+	// Observability handles (discard slots until AttachObs): which arm each
+	// schedule() takes. The wheel-vs-heap split is the figure of merit for
+	// the staging heuristic, so it is exported rather than inferred.
+	wheelArms obs.Counter
+	heapArms  obs.Counter
 }
 
 // New returns a Scheduler whose RNG is seeded with seed, making the entire
@@ -144,13 +152,22 @@ func New(seed int64) *Scheduler {
 // exists as the differential-testing baseline.
 func NewBackend(seed int64, b Backend) *Scheduler {
 	s := &Scheduler{
-		rng:   rand.New(rand.NewSource(seed)),
-		limit: DefaultEventLimit,
+		rng:       rand.New(rand.NewSource(seed)),
+		limit:     DefaultEventLimit,
+		wheelArms: (*obs.Registry)(nil).Counter("sim_timer_wheel_arms_total"),
+		heapArms:  (*obs.Registry)(nil).Counter("sim_timer_heap_arms_total"),
 	}
 	if b == BackendWheel {
 		s.wheel = newTimerWheel()
 	}
 	return s
+}
+
+// AttachObs resolves the scheduler's metric handles against reg. Call once
+// at scenario build time, before the simulation runs.
+func (s *Scheduler) AttachObs(reg *obs.Registry) {
+	s.wheelArms = reg.Counter("sim_timer_wheel_arms_total")
+	s.heapArms = reg.Counter("sim_timer_heap_arms_total")
 }
 
 // Now returns the current virtual time (elapsed since simulation start).
@@ -218,10 +235,12 @@ func (s *Scheduler) schedule(ev *event) Timer {
 		}
 		t := int64(ev.when / wheelTick)
 		if t > nowTick+1 && t >= w.baseTick && t-w.baseTick < wheelSlots {
+			s.wheelArms.Inc()
 			w.insert(ev, t)
 			return Timer{ev: ev, gen: ev.gen}
 		}
 	}
+	s.heapArms.Inc()
 	s.push(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }

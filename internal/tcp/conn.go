@@ -88,8 +88,8 @@ func (s *Stack) newConn(t Tuple) *Conn {
 		tuple:       t,
 		state:       StateClosed,
 		iss:         s.cfg.ISS(s.rng),
-		sndBuf:      newRing(s.cfg.SendBufSize),
-		rcvBuf:      newRing(s.cfg.RecvBufSize),
+		sndBuf:      newRing(s.cfg.SendBufSize, s.m.ringGrows),
+		rcvBuf:      newRing(s.cfg.RecvBufSize, s.m.ringGrows),
 		mss:         s.cfg.MSS,
 		ssthresh:    65535,
 		rto:         newRTTEstimator(s.cfg.InitialRTO, s.cfg.MinRTO, s.cfg.MaxRTO),
@@ -232,6 +232,7 @@ func (c *Conn) emit(seg *Segment) {
 	copy(MarshalReserve(pkt, seg, len(seg.Payload)), seg.Payload)
 	SealChecksum(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt.Bytes())
 	c.stack.stats.SegmentsOut++
+	c.stack.m.segmentsOut.Inc()
 	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt)
 }
 
@@ -245,6 +246,7 @@ func (c *Conn) emitData(seg *Segment, off, n int) {
 	c.sndBuf.Peek(off, MarshalReserve(pkt, seg, n))
 	SealChecksum(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt.Bytes())
 	c.stack.stats.SegmentsOut++
+	c.stack.m.segmentsOut.Inc()
 	_ = c.stack.output(c.tuple.LocalAddr, c.tuple.RemoteAddr, pkt)
 }
 
@@ -472,6 +474,7 @@ func (c *Conn) onRexmtTimeout() {
 		return
 	}
 	c.stack.stats.Retransmissions++
+	c.stack.m.retransmissions.Inc()
 	c.rto.backoff()
 	c.timing = false // Karn: do not time retransmitted segments
 	c.dupAcks = 0
@@ -511,6 +514,7 @@ func (c *Conn) maybeArmPersist() {
 	unsent := dataEnd.Diff(c.sndNxt)
 	if unsent > 0 && c.sndNxt == c.sndUna && !c.persistTimer.Pending() && !c.rexmtTimer.Pending() {
 		c.persistCount = 0
+		c.stack.m.zeroWindowStalls.Inc()
 		c.armPersist()
 	}
 }

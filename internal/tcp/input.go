@@ -256,6 +256,7 @@ func (c *Conn) handleNewAck(ack Seq) {
 
 func (c *Conn) handleDupAck() {
 	c.stack.stats.DupAcksIn++
+	c.stack.m.dupAcks.Inc()
 	if c.stack.cfg.DisableCongestion {
 		return
 	}
@@ -264,6 +265,7 @@ func (c *Conn) handleDupAck() {
 	case c.dupAcks == 3:
 		// Fast retransmit (Reno).
 		c.stack.stats.FastRetransmits++
+		c.stack.m.fastRetransmits.Inc()
 		flight := c.sndNxt.Diff(c.sndUna)
 		c.ssthresh = max(flight/2, 2*c.mss)
 		c.retransmitOne()
@@ -288,6 +290,7 @@ func (c *Conn) retransmitOne() {
 	if n > 0 {
 		c.timing = false // Karn
 		c.stack.stats.Retransmissions++
+		c.stack.m.retransmissions.Inc()
 		c.emitData(seg, off, n)
 		return
 	}
@@ -295,6 +298,7 @@ func (c *Conn) retransmitOne() {
 		seg.Flags |= FlagFIN
 		c.timing = false // Karn
 		c.stack.stats.Retransmissions++
+		c.stack.m.retransmissions.Inc()
 		c.emit(seg)
 	}
 }

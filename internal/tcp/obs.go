@@ -1,0 +1,51 @@
+package tcp
+
+import (
+	"fmt"
+
+	"tcpfailover/internal/obs"
+)
+
+// stackMetrics are the stack's pre-resolved observability handles. The
+// struct is always populated — with discard handles when no registry is
+// attached — so the hot paths increment unconditionally: no nil checks,
+// no map lookups, no allocation.
+type stackMetrics struct {
+	segmentsIn       obs.Counter
+	segmentsOut      obs.Counter
+	badChecksums     obs.Counter
+	retransmissions  obs.Counter
+	dupAcks          obs.Counter
+	fastRetransmits  obs.Counter
+	zeroWindowStalls obs.Counter
+	ringGrows        obs.Counter
+}
+
+// series appends a host label to a metric name when the host is known.
+func series(name, host string) string {
+	if host == "" {
+		return name
+	}
+	return fmt.Sprintf("%s{host=%q}", name, host)
+}
+
+func newStackMetrics(reg *obs.Registry, host string) stackMetrics {
+	return stackMetrics{
+		segmentsIn:       reg.Counter(series("tcp_segments_in_total", host)),
+		segmentsOut:      reg.Counter(series("tcp_segments_out_total", host)),
+		badChecksums:     reg.Counter(series("tcp_bad_checksums_total", host)),
+		retransmissions:  reg.Counter(series("tcp_retransmissions_total", host)),
+		dupAcks:          reg.Counter(series("tcp_dup_acks_total", host)),
+		fastRetransmits:  reg.Counter(series("tcp_fast_retransmits_total", host)),
+		zeroWindowStalls: reg.Counter(series("tcp_zero_window_stalls_total", host)),
+		ringGrows:        reg.Counter(series("tcp_ring_grows_total", host)),
+	}
+}
+
+// AttachObs resolves the stack's metric handles against reg, labeled with
+// the host name. Call once at scenario build time; connections created
+// before the call keep their ring-growth handles (rings resolve theirs at
+// connection creation), everything else switches immediately.
+func (s *Stack) AttachObs(reg *obs.Registry, host string) {
+	s.m = newStackMetrics(reg, host)
+}

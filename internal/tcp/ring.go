@@ -1,5 +1,7 @@
 package tcp
 
+import "tcpfailover/internal/obs"
+
 // ring is a byte ring buffer with a fixed logical capacity and a lazily
 // grown physical buffer. The send buffer keeps unacknowledged and unsent
 // bytes (consumed as acknowledgments arrive); the receive buffer keeps
@@ -15,13 +17,16 @@ type ring struct {
 	cap   int    // logical capacity: the window the peer may fill
 	start int
 	size  int
+	grows obs.Counter // counts grow() calls; resolved at ring creation
 }
 
 // ringMinAlloc is the smallest physical buffer; below this, doubling churn
 // outweighs the memory saved.
 const ringMinAlloc = 64
 
-func newRing(capacity int) *ring { return &ring{cap: capacity} }
+func newRing(capacity int, grows obs.Counter) *ring {
+	return &ring{cap: capacity, grows: grows}
+}
 
 // Len returns the number of buffered bytes.
 func (r *ring) Len() int { return r.size }
@@ -36,6 +41,7 @@ func (r *ring) Cap() int { return r.cap }
 // contents to offset 0. Doubling amortizes the copies; the logical capacity
 // bounds the growth, so a ring never allocates more than it advertises.
 func (r *ring) grow(need int) {
+	r.grows.Inc()
 	c := len(r.buf)
 	if c == 0 {
 		c = ringMinAlloc

@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"tcpfailover/internal/obs"
 )
 
+// discard is a detached counter for ring construction in tests.
+func discard() obs.Counter { return (*obs.Registry)(nil).Counter("test") }
+
 func TestRingBasicOps(t *testing.T) {
-	r := newRing(8)
+	r := newRing(8, discard())
 	if r.Cap() != 8 || r.Len() != 0 || r.Free() != 8 {
 		t.Fatalf("fresh ring: cap=%d len=%d free=%d", r.Cap(), r.Len(), r.Free())
 	}
@@ -33,7 +38,7 @@ func TestRingBasicOps(t *testing.T) {
 }
 
 func TestRingPeekDoesNotConsume(t *testing.T) {
-	r := newRing(16)
+	r := newRing(16, discard())
 	r.Write([]byte("hello world"))
 	p := make([]byte, 5)
 	if n := r.Peek(6, p); n != 5 || string(p) != "world" {
@@ -55,7 +60,7 @@ func TestRingPeekDoesNotConsume(t *testing.T) {
 // model.
 func TestRingAgainstReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	r := newRing(64)
+	r := newRing(64, discard())
 	var ref []byte
 	for i := range 5000 {
 		switch rng.Intn(3) {
@@ -95,7 +100,7 @@ func TestRingAgainstReference(t *testing.T) {
 }
 
 func TestRingConsumeClamps(t *testing.T) {
-	r := newRing(8)
+	r := newRing(8, discard())
 	r.Write([]byte("ab"))
 	r.Consume(100) // must not panic or corrupt
 	if r.Len() != 0 || r.Free() != 8 {

@@ -180,6 +180,7 @@ type Stack struct {
 	inSeg Segment
 
 	stats Stats
+	m     stackMetrics
 }
 
 // Stats aggregates stack-wide counters.
@@ -205,6 +206,7 @@ func NewStack(sched *sim.Scheduler, cfg Config, output Output,
 		listeners: make(map[uint16]*Listener),
 		conns:     make(map[uint64]*Conn),
 		nextPort:  49152,
+		m:         newStackMetrics(nil, ""),
 	}
 }
 
@@ -385,12 +387,14 @@ func (s *Stack) Rebind(t Tuple, newLocal ipv4.Addr) error {
 // verification and demultiplexing.
 func (s *Stack) Input(src, dst ipv4.Addr, b []byte) {
 	s.stats.SegmentsIn++
+	s.m.segmentsIn.Inc()
 	// Parse into the stack's scratch segment: input handlers read fields and
 	// copy payload bytes but never retain the *Segment, so one struct serves
 	// every arriving segment without allocating.
 	seg := &s.inSeg
 	if err := UnmarshalInto(src, dst, b, true, seg); err != nil {
 		s.stats.BadChecksums++
+		s.m.badChecksums.Inc()
 		return
 	}
 	t := Tuple{LocalAddr: dst, LocalPort: seg.DstPort, RemoteAddr: src, RemotePort: seg.SrcPort}
@@ -440,6 +444,7 @@ func (s *Stack) sendRST(t Tuple, seg *Segment) {
 	MarshalReserve(pkt, rst, 0)
 	SealChecksum(t.LocalAddr, t.RemoteAddr, pkt.Bytes())
 	s.stats.SegmentsOut++
+	s.m.segmentsOut.Inc()
 	_ = s.output(t.LocalAddr, t.RemoteAddr, pkt)
 }
 

@@ -24,15 +24,16 @@ type Tracer struct {
 func New(w io.Writer) *Tracer { return &Tracer{w: w} }
 
 // Attach installs the tracer on a host's packet tap. dir is "rx" or "tx"
-// from the host's viewpoint.
+// from the host's viewpoint. The tap list fans out, so a tracer coexists
+// with other observers (the obs flight recorder, tests) on the same host.
 func (t *Tracer) Attach(h *netstack.Host) {
 	name := h.Name()
 	sched := h.Scheduler()
-	h.PacketTap = func(dir string, hdr ipv4.Header, payload []byte) {
+	h.AddPacketTap(func(dir string, hdr ipv4.Header, payload []byte) {
 		t.count++
 		fmt.Fprintf(t.w, "%12s %-9s %-2s %s\n", fmtTime(sched.Now()), name, dir,
 			Format(hdr, payload))
-	}
+	})
 }
 
 // AttachFaults subscribes the tracer to a fault set, so injected

@@ -1,58 +1,111 @@
 package trace
 
 import (
-	"strings"
 	"testing"
 
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/tcp"
 )
 
-func TestFormatTCPSegment(t *testing.T) {
-	src := ipv4.MustParseAddr("10.0.2.1")
-	dst := ipv4.MustParseAddr("10.0.1.1")
-	seg := &tcp.Segment{
-		SrcPort: 49152,
-		DstPort: 80,
-		Seq:     1000,
-		Ack:     2000,
-		Flags:   tcp.FlagSYN | tcp.FlagACK,
-		Window:  65535,
-		Options: []tcp.Option{tcp.MSSOption(1460), tcp.OrigDstOption(src)},
-		Payload: []byte("xyz"),
+// TestFormatGolden pins the exact rendering of every Format branch: the
+// tcpdump-style TCP line (flags, seq ranges, ack, window, options, data
+// length), the truncated-TCP fallback, heartbeats, and unknown protocols.
+// The trace output doubles as documentation of the wire protocol, so
+// changes here should be deliberate.
+func TestFormatGolden(t *testing.T) {
+	client := ipv4.MustParseAddr("10.0.2.1")
+	server := ipv4.MustParseAddr("10.0.1.1")
+	tcpHdr := func(src, dst ipv4.Addr) ipv4.Header {
+		return ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst}
 	}
-	raw := tcp.Marshal(src, dst, seg)
-	got := Format(ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst}, raw)
 
-	for _, want := range []string{
-		"10.0.2.1.49152 > 10.0.1.1.80",
-		"Flags [S.]",
-		"seq 1000:1003",
-		"ack 2000",
-		"win 65535",
-		"mss 1460",
-		"origdst 10.0.2.1",
-		"length 3",
-	} {
-		if !strings.Contains(got, want) {
-			t.Errorf("Format output %q missing %q", got, want)
-		}
+	cases := []struct {
+		name    string
+		hdr     ipv4.Header
+		payload []byte
+		want    string
+	}{
+		{
+			name: "syn with mss",
+			hdr:  tcpHdr(client, server),
+			payload: tcp.Marshal(client, server, &tcp.Segment{
+				SrcPort: 49152, DstPort: 80, Seq: 1000,
+				Flags: tcp.FlagSYN, Window: 65535,
+				Options: []tcp.Option{tcp.MSSOption(1460)},
+			}),
+			want: "10.0.2.1.49152 > 10.0.1.1.80: Flags [S], seq 1000, win 65535, mss 1460",
+		},
+		{
+			name: "synack with mss and origdst",
+			hdr:  tcpHdr(server, client),
+			payload: tcp.Marshal(server, client, &tcp.Segment{
+				SrcPort: 80, DstPort: 49152, Seq: 300, Ack: 1001,
+				Flags: tcp.FlagSYN | tcp.FlagACK, Window: 8192,
+				Options: []tcp.Option{tcp.MSSOption(1000), tcp.OrigDstOption(server)},
+			}),
+			want: "10.0.1.1.80 > 10.0.2.1.49152: Flags [S.], seq 300, ack 1001, win 8192, mss 1000, origdst 10.0.1.1",
+		},
+		{
+			name: "data segment with seq range and length",
+			hdr:  tcpHdr(client, server),
+			payload: tcp.Marshal(client, server, &tcp.Segment{
+				SrcPort: 49152, DstPort: 80, Seq: 1001, Ack: 301,
+				Flags: tcp.FlagACK | tcp.FlagPSH, Window: 4096,
+				Payload: []byte("hello"),
+			}),
+			want: "10.0.2.1.49152 > 10.0.1.1.80: Flags [P.], seq 1001:1006, ack 301, win 4096, length 5",
+		},
+		{
+			name: "pure ack",
+			hdr:  tcpHdr(client, server),
+			payload: tcp.Marshal(client, server, &tcp.Segment{
+				SrcPort: 49152, DstPort: 80, Seq: 1006, Ack: 301,
+				Flags: tcp.FlagACK, Window: 4096,
+			}),
+			want: "10.0.2.1.49152 > 10.0.1.1.80: Flags [.], seq 1006, ack 301, win 4096",
+		},
+		{
+			name: "rst without ack",
+			hdr:  tcpHdr(server, client),
+			payload: tcp.Marshal(server, client, &tcp.Segment{
+				SrcPort: 80, DstPort: 49152, Seq: 301,
+				Flags: tcp.FlagRST, Window: 0,
+			}),
+			want: "10.0.1.1.80 > 10.0.2.1.49152: Flags [R], seq 301, win 0",
+		},
+		{
+			name: "fin ack",
+			hdr:  tcpHdr(client, server),
+			payload: tcp.Marshal(client, server, &tcp.Segment{
+				SrcPort: 49152, DstPort: 80, Seq: 1006, Ack: 301,
+				Flags: tcp.FlagFIN | tcp.FlagACK, Window: 4096,
+			}),
+			want: "10.0.2.1.49152 > 10.0.1.1.80: Flags [F.], seq 1006, ack 301, win 4096",
+		},
+		{
+			name:    "truncated tcp",
+			hdr:     tcpHdr(client, server),
+			payload: make([]byte, 4),
+			want:    "10.0.2.1 > 10.0.1.1: TCP <truncated>",
+		},
+		{
+			name:    "heartbeat",
+			hdr:     ipv4.Header{Protocol: ipv4.ProtoHeartbeat, Src: client, Dst: server},
+			payload: nil,
+			want:    "10.0.2.1 > 10.0.1.1: heartbeat",
+		},
+		{
+			name:    "unknown protocol",
+			hdr:     ipv4.Header{Protocol: 17, Src: client, Dst: server},
+			payload: make([]byte, 8),
+			want:    "10.0.2.1 > 10.0.1.1: proto 17, length 8",
+		},
 	}
-}
-
-func TestFormatHeartbeatAndUnknown(t *testing.T) {
-	src := ipv4.MustParseAddr("10.0.1.1")
-	dst := ipv4.MustParseAddr("10.0.1.2")
-	hb := Format(ipv4.Header{Protocol: ipv4.ProtoHeartbeat, Src: src, Dst: dst}, nil)
-	if !strings.Contains(hb, "heartbeat") {
-		t.Errorf("heartbeat format: %q", hb)
-	}
-	other := Format(ipv4.Header{Protocol: 17, Src: src, Dst: dst}, make([]byte, 8))
-	if !strings.Contains(other, "proto 17") {
-		t.Errorf("unknown proto format: %q", other)
-	}
-	trunc := Format(ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst}, make([]byte, 4))
-	if !strings.Contains(trunc, "truncated") {
-		t.Errorf("truncated format: %q", trunc)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Format(c.hdr, c.payload); got != c.want {
+				t.Errorf("Format mismatch\ngot:  %s\nwant: %s", got, c.want)
+			}
+		})
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"tcpfailover/internal/fault"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/replica"
 	"tcpfailover/internal/sim"
 	"tcpfailover/internal/tcp"
@@ -137,6 +138,11 @@ type Scenario struct {
 	// It is always non-nil; Options.Faults pre-populates it.
 	Faults *fault.Set
 
+	// Obs is the scenario's metrics registry. Every instrumented component
+	// (scheduler, links, hosts, bridges, fault injectors) is attached at
+	// build time, so steady-state updates are handle stores with no lookup.
+	Obs *obs.Registry
+
 	opts          Options
 	scheduleArmed bool
 }
@@ -240,6 +246,8 @@ func NewScenario(opts Options) (*Scenario, error) {
 		},
 	}
 	sc.Faults = fault.NewSet(sched, opts.Seed, topo)
+	sc.Obs = obs.NewRegistry()
+	sc.attachObs()
 	if opts.Faults != nil {
 		if err := sc.Faults.Apply(opts.Faults.Impairments); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
@@ -251,6 +259,26 @@ func NewScenario(opts Options) (*Scenario, error) {
 		}
 	}
 	return sc, nil
+}
+
+// attachObs resolves every component's metric handles against the
+// scenario registry. Runs once inside NewScenario, before any traffic, so
+// connections and injectors created later inherit live handles.
+func (sc *Scenario) attachObs() {
+	reg := sc.Obs
+	sc.Sched.AttachObs(reg)
+	sc.ServerLAN.AttachObs(reg, "serverlan")
+	sc.ClientLink.AttachObs(reg, "clientlink")
+	for _, h := range []*netstack.Host{sc.Client, sc.Primary, sc.Secondary, sc.Tertiary, sc.Router} {
+		if h != nil {
+			h.AttachObs(reg)
+		}
+	}
+	if sc.Group != nil {
+		sc.Group.PrimaryBridge().AttachObs(reg, "primary")
+		sc.Group.SecondaryBridge().AttachObs(reg, "secondary")
+	}
+	sc.Faults.AttachObs(reg)
 }
 
 // validateStep rejects schedule steps the assembled topology cannot honor,
