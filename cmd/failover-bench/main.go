@@ -11,9 +11,10 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|failtimeline]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline]
 //	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
-//	               [-faultrates R1,R2,...] [-connscale N1,N2,...] [-json]
+//	               [-faultrates R1,R2,...] [-connscale N1,N2,...]
+//	               [-shardscale N1,N2,...] [-shards S1,S2,...] [-json]
 //	               [-metrics-out FILE] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -metrics-out, one instrumented failover scenario is run after the
@@ -42,7 +43,7 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, failtimeline")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
 		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
@@ -51,6 +52,10 @@ func main() {
 			"comma-separated loss rates for the fault sweep (default 0,0.005,0.01,0.02,0.05)")
 		connScale = flag.String("connscale", "",
 			"comma-separated connection counts for the connection-scale sweep (default 100,1000,10000)")
+		shardScale = flag.String("shardscale", "",
+			"comma-separated connection counts for the sharded scaling sweep (default 100000,1000000)")
+		shards = flag.String("shards", "",
+			"comma-separated shard counts for the sharded scaling sweep (default 1,2,4,8)")
 		jsonOut    = flag.Bool("json", false, "also write "+trajectoryFile)
 		metricsOut = flag.String("metrics-out", "",
 			"write a metrics snapshot from one failover scenario to this file (.json or Prometheus text)")
@@ -71,6 +76,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
+	shardConns, err := parseCounts(*shardScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
+	shardCounts, err := parseCounts(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Experiments: []string{*experiment},
 		Conns:       *conns,
@@ -79,6 +94,8 @@ func main() {
 		Runs:        *runs,
 		FaultRates:  rates,
 		ConnScale:   counts,
+		ShardScale:  shardConns,
+		ShardCounts: shardCounts,
 	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
@@ -187,6 +204,9 @@ func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	}
 	if r.ConnScale != nil {
 		connScaleOut(r.ConnScale)
+	}
+	if r.ShardScale != nil {
+		shardScaleOut(r.ShardScale)
 	}
 	if r.Timeline != nil {
 		timeline(*r.Timeline)
@@ -355,6 +375,28 @@ func connScaleOut(points []bench.ConnScalePoint) {
 		}
 		fmt.Printf("%8d %12d %14.0f %14.5f %12s\n",
 			p.Conns, p.Segments, p.MedianNsPerSegment, p.AllocsPerSegment, ratio)
+	}
+	fmt.Println()
+}
+
+func shardScaleOut(points []bench.ShardScalePoint) {
+	fmt.Println("=== E10: sharded parallel scaling (byte-identical engine) ===")
+	fmt.Println("(replicated testbed cells on a trunk ring, 1 in 8 connections")
+	fmt.Println(" cross-cell; the shard count partitions the cells across domain")
+	fmt.Println(" schedulers in conservative lockstep — results are byte-identical")
+	fmt.Println(" for every shard count, so events/sec is directly comparable;")
+	fmt.Println(" speedup/efficiency are vs the shards=1 point, per worker core)")
+	for i, p := range points {
+		if i > 0 && p.Conns != points[i-1].Conns {
+			fmt.Println()
+		}
+		if i == 0 || p.Conns != points[i-1].Conns {
+			fmt.Printf("%8s %6s %7s %8s %12s %12s %14s %14s %8s %6s\n",
+				"conns", "cells", "shards", "workers", "rounds", "wall [ms]", "events/s", "ev/s/core", "speedup", "eff")
+		}
+		fmt.Printf("%8d %6d %7d %8d %12d %12.0f %14.0f %14.0f %8.2f %6.2f\n",
+			p.Conns, p.Cells, p.Shards, p.Workers, p.Rounds, float64(p.WallNS)/1e6,
+			p.EventsPerSec, p.EventsPerSecPerCore, p.Speedup, p.Efficiency)
 	}
 	fmt.Println()
 }

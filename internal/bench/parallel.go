@@ -19,7 +19,22 @@ var Workers = runtime.NumCPU()
 // slots, and the error reported is the lowest-indexed one, so the outcome is
 // independent of scheduling.
 func parallelEach(n int, fn func(i int) error) error {
-	w := Workers
+	return parallelEachBudget(n, 1, fn)
+}
+
+// parallelEachBudget is parallelEach for simulations that are themselves
+// parallel: costPerSim is the number of cores one simulation occupies (its
+// shard-worker count), and the fan-out is limited to Workers/costPerSim
+// concurrent simulations so that simulations x shard workers never exceeds
+// the Workers budget (GOMAXPROCS by default). Aggregation stays config-order:
+// results land in index-addressed slots and the lowest-indexed error wins,
+// exactly as in parallelEach, so mixing sharded and sequential simulations
+// never reorders the output.
+func parallelEachBudget(n, costPerSim int, fn func(i int) error) error {
+	if costPerSim < 1 {
+		costPerSim = 1
+	}
+	w := Workers / costPerSim
 	if w < 1 {
 		w = 1
 	}
@@ -70,5 +85,12 @@ var (
 // addEvents credits a finished simulation's executed events to the tallies.
 func addEvents(sc *tcpfailover.Scenario) {
 	eventTally.Add(int64(sc.Sched.Executed()))
+	simTally.Add(1)
+}
+
+// addShardEvents is addEvents for a sharded simulation: one simulation, with
+// events summed across its domain schedulers.
+func addShardEvents(ss *tcpfailover.ShardedScenario) {
+	eventTally.Add(int64(ss.Executed()))
 	simTally.Add(1)
 }

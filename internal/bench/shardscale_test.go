@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"tcpfailover/internal/sim"
+)
+
+// TestShardScaleDeterministicAcrossShardCounts is the E10 determinism gate
+// (CI runs it under -race on every push): the same seed through the E10
+// workload at shards 1, 2, and 4 must produce byte-identical per-stream
+// execution digests — the shard count may only change wall-clock numbers.
+// The three simulations run through parallelEachBudget with a cost of 4
+// cores each, the composition rule the sharded engine imposes on the bench
+// harness: concurrent simulations x shard workers stays within the Workers
+// budget, and results land in config order regardless of completion order.
+func TestShardScaleDeterministicAcrossShardCounts(t *testing.T) {
+	shardCounts := []int{1, 2, 4}
+	const conns = 64 // 8 cells x 8 connections, one of them cross-cell
+	points := make([]ShardScalePoint, len(shardCounts))
+	digs := make([][]sim.StreamDigest, len(shardCounts))
+	if err := parallelEachBudget(len(shardCounts), 4, func(i int) error {
+		p, d, err := shardScalePoint(42, conns, shardCounts[i], 0, true)
+		if err != nil {
+			return err
+		}
+		points[i] = p
+		digs[i] = d
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(digs[0]) == 0 {
+		t.Fatal("sequential run produced no stream digests")
+	}
+	for i := 1; i < len(shardCounts); i++ {
+		if !reflect.DeepEqual(digs[i], digs[0]) {
+			t.Errorf("shards=%d: per-stream digests diverge from shards=1:\n seq: %+v\n got: %+v",
+				shardCounts[i], digs[0], digs[i])
+		}
+	}
+	if points[2].Shards != 4 {
+		t.Errorf("requested 4 shards, built %d", points[2].Shards)
+	}
+	if points[2].CrossPosts == 0 {
+		t.Error("4-shard run buffered no cross-domain deliveries; the gate is not exercising the trunks")
+	}
+	if points[0].CrossPosts != 0 {
+		t.Errorf("sequential run reports %d cross-domain posts, want 0", points[0].CrossPosts)
+	}
+}
+
+// TestShardScaleSteadyStateAllocs is the allocation gate for the sharded
+// hot path: buffered cross-domain posts, barrier drains, explicit-key heap
+// injection, and trunk frame relay must all be allocation-free in the steady
+// state, just like the sequential path E8 gates. Workers is pinned to 1 so
+// the measurement sees the per-event path, not the per-window goroutine
+// launches (a per-window constant that amortizes to nothing at real
+// connection counts but not at this test's 256).
+func TestShardScaleSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate only means anything in a plain build")
+	}
+	p, _, err := shardScalePoint(43, 256, 4, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Events == 0 || p.Rounds == 0 {
+		t.Fatalf("empty measurement: %+v", p)
+	}
+	if p.CrossPosts == 0 {
+		t.Fatal("no cross-domain deliveries; the gate is not exercising the sharded path")
+	}
+	// Same bar as E8's gate, denominated in events (~7 events per segment):
+	// a real per-event or per-delivery allocation shows up as >= 1.0.
+	if p.AllocsPerEvent >= 0.01 {
+		t.Errorf("sharded steady-state allocations regressed: %.4f allocs/event (want < 0.01)",
+			p.AllocsPerEvent)
+	}
+}

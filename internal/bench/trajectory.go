@@ -9,8 +9,9 @@ import (
 // Config selects which experiments RunAll executes and with what workload
 // parameters. It mirrors the failover-bench command-line flags.
 type Config struct {
-	// Experiments names the experiments to run: connscale, connsetup,
-	// fig3, fig4, fig5, fig6, ablate, failover, faultsweep, failtimeline.
+	// Experiments names the experiments to run: connscale, shardscale,
+	// connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep,
+	// failtimeline.
 	// Empty or containing "all" runs everything. Execution order is always
 	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
@@ -27,6 +28,12 @@ type Config struct {
 	// ConnScale overrides the connection-count sweep of E8; nil means
 	// DefaultConnScale.
 	ConnScale []int `json:"conn_scale,omitempty"`
+	// ShardScale overrides the connection-count axis of E10; nil means
+	// DefaultShardScale.
+	ShardScale []int `json:"shard_scale,omitempty"`
+	// ShardCounts overrides the shard-count axis of E10; nil means
+	// DefaultShardCounts.
+	ShardCounts []int `json:"shard_counts,omitempty"`
 }
 
 // experimentOrder is the canonical execution order; results are emitted in
@@ -37,7 +44,10 @@ type Config struct {
 // serving 10k connections rather than one that just churned through eight
 // other workloads (measured: ~15% inflation at the 10k point when it runs
 // last, even after returning the dirtied heap to the OS).
-var experimentOrder = []string{"connscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline"}
+// shardscale follows immediately: it too measures the simulator's own
+// wall-clock cost and wants a heap that has not been churned by the
+// virtual-time experiments.
+var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline"}
 
 // enabled expands Config.Experiments into a membership set, rejecting
 // unknown names.
@@ -83,10 +93,11 @@ type Results struct {
 	Failover   *FailoverResult   `json:"failover,omitempty"`
 	FaultSweep []FaultPoint      `json:"fault_sweep,omitempty"`
 	Timeline   *TimelineResult   `json:"timeline,omitempty"`
-	// ConnScale is the one Results member with host-dependent fields
-	// (wall-clock and allocation counters); the determinism test compares
-	// the experiments above, which are functions of the seeds only.
-	ConnScale []ConnScalePoint `json:"conn_scale,omitempty"`
+	// ConnScale and ShardScale are the Results members with host-dependent
+	// fields (wall-clock and allocation counters); the determinism test
+	// compares the experiments above, which are functions of the seeds only.
+	ConnScale  []ConnScalePoint  `json:"conn_scale,omitempty"`
+	ShardScale []ShardScalePoint `json:"shard_scale,omitempty"`
 }
 
 // ExperimentPerf records one experiment's host-side cost: wall-clock time,
@@ -169,6 +180,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 		if err := t.measure("connscale", func() error {
 			var err error
 			t.Results.ConnScale, err = ConnScale(cfg.ConnScale)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["shardscale"] {
+		if err := t.measure("shardscale", func() error {
+			var err error
+			t.Results.ShardScale, err = ShardScale(cfg.ShardScale, cfg.ShardCounts)
 			return err
 		}); err != nil {
 			return nil, err

@@ -436,6 +436,20 @@ func (n *NIC) SetHandler(h func(Frame)) {
 // it is released on every error and drop path, so callers must not touch
 // the frame after Send returns.
 func (n *NIC) Send(f Frame) error {
+	return n.send(f, true)
+}
+
+// Inject transmits a frame without overwriting its source address: the
+// frame appears on the segment as coming from whoever built it. Bridging
+// stations use it — the cross-domain trunk relays overheard frames onto the
+// remote segment with the original sender's MAC intact, so ARP caches and
+// snooping stacks on both sides see one transparent L2 network. Ownership
+// rules match Send.
+func (n *NIC) Inject(f Frame) error {
+	return n.send(f, false)
+}
+
+func (n *NIC) send(f Frame, overwriteSrc bool) error {
 	if n.seg == nil {
 		f.release()
 		return ErrNotAttached
@@ -454,7 +468,9 @@ func (n *NIC) Send(f Frame) error {
 		f.Buf = netbuf.From(f.Payload)
 		f.Payload = f.Buf.Bytes()
 	}
-	f.Src = n.mac
+	if overwriteSrc {
+		f.Src = n.mac
+	}
 	n.txFrames++
 	n.seg.transmit(n, f)
 	return nil

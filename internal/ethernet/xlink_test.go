@@ -1,0 +1,69 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover/internal/sim"
+)
+
+// TestXLinkRelay: a frame sent on one segment appears on the remote segment
+// (in another domain) with its source MAC preserved, after at least the
+// trunk latency.
+func TestXLinkRelay(t *testing.T) {
+	const latency = 2 * time.Millisecond
+	a, b := sim.New(1), sim.New(2)
+	g := sim.NewShardGroup(a, b)
+	segA := NewSegment(a, Config{})
+	segB := NewSegment(b, Config{})
+	if _, err := ConnectDomains(g, a, segA, MAC{2, 0, 0, 0, 0, 0xa0},
+		b, segB, MAC{2, 0, 0, 0, 0, 0xb0}, XConfig{Latency: latency}, 1); err != nil {
+		t.Fatal(err)
+	}
+	srcMAC := MAC{2, 0, 0, 0, 0, 1}
+	dstMAC := MAC{2, 0, 0, 0, 0, 2}
+	src := segA.Attach(srcMAC)
+	dst := segB.Attach(dstMAC)
+	var got *Frame
+	var at time.Duration
+	dst.SetHandler(func(f Frame) {
+		cp := f
+		got = &cp
+		at = b.Now()
+		f.Buf.Release()
+	})
+	st := a.NewStream(1, 1)
+	st.Use()
+	a.At(time.Millisecond, "send", func() {
+		if err := src.Send(Frame{Dst: dstMAC, Type: TypeIPv4, Payload: []byte("hello")}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	if err := g.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("frame never crossed the trunk")
+	}
+	if got.Src != srcMAC {
+		t.Errorf("relayed frame Src %v, want original sender %v", got.Src, srcMAC)
+	}
+	if at < time.Millisecond+latency {
+		t.Errorf("frame arrived at %v, before send time + trunk latency", at)
+	}
+	if string(got.Payload) != "hello" {
+		t.Errorf("payload %q", got.Payload)
+	}
+}
+
+// TestXLinkZeroLatencyCrossDomain: rejected with a clear error.
+func TestXLinkZeroLatencyCrossDomain(t *testing.T) {
+	a, b := sim.New(1), sim.New(2)
+	g := sim.NewShardGroup(a, b)
+	segA := NewSegment(a, Config{})
+	segB := NewSegment(b, Config{})
+	if _, err := ConnectDomains(g, a, segA, MAC{2, 0, 0, 0, 0, 0xa0},
+		b, segB, MAC{2, 0, 0, 0, 0, 0xb0}, XConfig{}, 1); err == nil {
+		t.Fatal("zero-latency cross-domain trunk accepted")
+	}
+}

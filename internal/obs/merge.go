@@ -1,0 +1,56 @@
+package obs
+
+// Cross-shard aggregation. A sharded simulation keeps one Registry per cell
+// (registries are single-threaded, like the schedulers that feed them) and
+// merges the snapshots at observation time — counters and gauges sum, and
+// histograms with matching bounds sum bucket-wise. Because each cell's
+// registration order and counts are deterministic, the merged snapshot is
+// too, and is identical for every shard count.
+
+// MergeSnapshots combines per-cell snapshots into one aggregate. Series are
+// matched by name; output order is first-seen order across the inputs in
+// argument order, which is stable when the inputs are themselves stable.
+// Histograms whose bucket bounds differ are kept as separate occurrences
+// only in spirit — the first occurrence's bounds win and mismatched buckets
+// are dropped (the simulator registers every cell's histograms identically,
+// so this is a defensive path, not an expected one).
+func MergeSnapshots(snaps ...[]Sample) []Sample {
+	var out []Sample
+	index := make(map[string]int)
+	for _, snap := range snaps {
+		for _, s := range snap {
+			i, ok := index[s.Name]
+			if !ok {
+				index[s.Name] = len(out)
+				cp := s
+				cp.Bounds = append([]int64(nil), s.Bounds...)
+				cp.Counts = append([]int64(nil), s.Counts...)
+				out = append(out, cp)
+				continue
+			}
+			dst := &out[i]
+			switch s.Kind {
+			case KindHistogram.String():
+				dst.Sum += s.Sum
+				dst.Count += s.Count
+				if len(dst.Counts) == len(s.Counts) {
+					for j := range s.Counts {
+						dst.Counts[j] += s.Counts[j]
+					}
+				}
+			default:
+				dst.Value += s.Value
+			}
+		}
+	}
+	return out
+}
+
+// MergeRegistries snapshots each registry and merges the results.
+func MergeRegistries(regs ...*Registry) []Sample {
+	snaps := make([][]Sample, 0, len(regs))
+	for _, r := range regs {
+		snaps = append(snaps, r.Snapshot())
+	}
+	return MergeSnapshots(snaps...)
+}

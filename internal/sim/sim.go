@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"tcpfailover/internal/obs"
@@ -37,12 +38,55 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 // stream-transfer experiments, small enough to fail fast on livelock.
 const DefaultEventLimit = 200_000_000
 
+// StreamID identifies an event stream: an independent (seq, rng) lane inside
+// a Scheduler. A plain scheduler has exactly one stream (id 0) and behaves as
+// it always has. The sharded engine gives every cell of a partitioned
+// topology its own stream, so the total event order — the heap key is
+// (when, stream, seq) — and every random draw are functions of the topology
+// alone, not of how cells are grouped onto domain schedulers. That is the
+// property that makes a sharded run byte-identical to the sequential one.
+type StreamID uint32
+
+// streamState is one stream's allocation lane: its FIFO tie-break counter,
+// its deterministic random source, and its execution digest.
+type streamState struct {
+	id       StreamID
+	seq      uint64
+	rng      *rand.Rand
+	executed int64
+	digest   uint64
+}
+
+// Stream is a handle to a scheduler stream, returned by NewStream (and
+// DefaultStream for stream 0).
+type Stream struct {
+	s  *Scheduler
+	st *streamState
+}
+
+// ID returns the stream's global identifier.
+func (st *Stream) ID() StreamID { return st.st.id }
+
+// Executed returns the number of events executed under this stream.
+func (st *Stream) Executed() int64 { return st.st.executed }
+
+// Digest returns the stream's running execution digest (see EnableDigest).
+func (st *Stream) Digest() uint64 { return st.st.digest }
+
+// Use makes the stream current: events scheduled from outside the event loop
+// (scenario construction, harness dial timers) are keyed and seeded under it.
+// Inside the loop the current stream follows the executing event, so causal
+// chains inherit their ancestor's stream automatically.
+func (st *Stream) Use() { st.s.cur = st.st }
+
 // event is a pooled scheduled callback. Exactly one of fn and fnArg is set.
 // A pending event lives either in the heap (index >= 0) or staged in a
 // timing-wheel slot (slot >= 0), never both.
 type event struct {
 	when  time.Duration
 	seq   uint64
+	sid   StreamID
+	st    *streamState // stream the callback executes under
 	name  string
 	fn    func()
 	fnArg func(any)
@@ -119,12 +163,13 @@ func (t Timer) When() time.Duration {
 // goroutines (the parallel benchmark harness does).
 type Scheduler struct {
 	now      time.Duration
-	queue    []heapNode  // indexed binary min-heap on (when, seq)
+	queue    []heapNode  // indexed binary min-heap on (when, stream, seq)
 	wheel    *timerWheel // short-horizon staging wheel; nil for BackendHeap
 	free     []*event    // recycled events
 	pending  int         // queued events not yet stopped
-	seq      uint64
-	rng      *rand.Rand
+	cur      *streamState
+	streams  []*streamState // registration order; streams[0] is stream 0
+	digestOn bool
 	limit    int
 	executed int
 	halted   bool
@@ -151,8 +196,10 @@ func New(seed int64) *Scheduler {
 // always pass through the (when, seq) heap before firing), so BackendHeap
 // exists as the differential-testing baseline.
 func NewBackend(seed int64, b Backend) *Scheduler {
+	st := &streamState{id: 0, rng: rand.New(rand.NewSource(seed))}
 	s := &Scheduler{
-		rng:       rand.New(rand.NewSource(seed)),
+		cur:       st,
+		streams:   []*streamState{st},
 		limit:     DefaultEventLimit,
 		wheelArms: (*obs.Registry)(nil).Counter("sim_timer_wheel_arms_total"),
 		heapArms:  (*obs.Registry)(nil).Counter("sim_timer_heap_arms_total"),
@@ -173,8 +220,73 @@ func (s *Scheduler) AttachObs(reg *obs.Registry) {
 // Now returns the current virtual time (elapsed since simulation start).
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// Rand returns the scheduler's deterministic random source.
-func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+// Rand returns the current stream's deterministic random source. On a plain
+// scheduler this is the single seed-derived RNG it has always been; on a
+// sharded domain each cell draws from its own stream's RNG, so the draw
+// sequence a cell sees is independent of which other cells share its domain.
+func (s *Scheduler) Rand() *rand.Rand { return s.cur.rng }
+
+// NewStream registers an event stream with the given global id and RNG seed.
+// Stream ids must be unique within a Scheduler — the sharded builder keeps
+// them unique across the whole topology so event keys are global. Panics on
+// a duplicate id.
+func (s *Scheduler) NewStream(id StreamID, seed int64) *Stream {
+	for _, st := range s.streams {
+		if st.id == id {
+			panic(fmt.Sprintf("sim: duplicate stream id %d", id))
+		}
+	}
+	st := &streamState{id: id, rng: rand.New(rand.NewSource(seed))}
+	s.streams = append(s.streams, st)
+	return &Stream{s: s, st: st}
+}
+
+// DefaultStream returns the handle for stream 0, which every plain
+// New/NewBackend scheduler starts with (and starts on).
+func (s *Scheduler) DefaultStream() *Stream { return &Stream{s: s, st: s.streams[0]} }
+
+// EnableDigest turns on per-stream execution digesting: each executed event
+// folds its (when, stream, seq, name) key into the owning stream's running
+// FNV-1a hash. Two runs whose digests match executed the same events with
+// the same keys in the same per-stream order — the differential tests use
+// this to prove shard-count independence without recording full traces.
+func (s *Scheduler) EnableDigest() { s.digestOn = true }
+
+// StreamDigest summarizes one stream's execution history.
+type StreamDigest struct {
+	ID       StreamID
+	Executed int64
+	Digest   uint64
+}
+
+// StreamDigests returns every stream's digest, ordered by stream id.
+func (s *Scheduler) StreamDigests() []StreamDigest {
+	out := make([]StreamDigest, 0, len(s.streams))
+	for _, st := range s.streams {
+		out = append(out, StreamDigest{ID: st.id, Executed: st.executed, Digest: st.digest})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// foldDigest mixes one event key into a stream digest.
+func foldDigest(h uint64, when time.Duration, sid StreamID, seq uint64, name string) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	h = (h ^ uint64(when)) * fnvPrime
+	h = (h ^ uint64(sid)) * fnvPrime
+	h = (h ^ seq) * fnvPrime
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	return h
+}
 
 // SetEventLimit overrides the livelock safety limit for subsequent Run
 // calls. A limit of 0 or below disables the check.
@@ -202,6 +314,7 @@ func (s *Scheduler) release(ev *event) {
 	ev.fn = nil
 	ev.fnArg = nil
 	ev.arg = nil
+	ev.st = nil
 	ev.name = ""
 	ev.stopped = false
 	ev.index = -1
@@ -219,8 +332,11 @@ func (s *Scheduler) release(ev *event) {
 // (delayed ack, retransmission), whose cancel then costs O(1) unlinking
 // instead of an O(log n) heap repair.
 func (s *Scheduler) schedule(ev *event) Timer {
-	ev.seq = s.seq
-	s.seq++
+	cur := s.cur
+	ev.sid = cur.id
+	ev.seq = cur.seq
+	ev.st = cur
+	cur.seq++
 	s.pending++
 	if w := s.wheel; w != nil {
 		nowTick := int64(s.now / wheelTick)
@@ -290,6 +406,33 @@ func (s *Scheduler) AfterArg(d time.Duration, name string, fn func(any), arg any
 	return s.AtArg(s.now+d, name, fn, arg)
 }
 
+// Inject schedules fn(arg) under an explicit (when, sid, seq) heap key,
+// executing under exec's stream. This is the cross-domain delivery
+// primitive: the shard mailboxes allocate (sid, seq) from their own wire
+// stream on the sending side, so the key — and therefore the merged
+// execution order in the destination domain — is identical no matter how
+// the topology is partitioned. Panics if when precedes the destination
+// clock: that is a lookahead violation, the event could already have been
+// passed by.
+func (s *Scheduler) Inject(when time.Duration, sid StreamID, seq uint64, exec *Stream, name string, fn func(any), arg any) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: Inject at %v before now %v (lookahead violation)", when, s.now))
+	}
+	if exec.s != s {
+		panic("sim: Inject exec stream belongs to a different scheduler")
+	}
+	ev := s.acquire()
+	ev.when = when
+	ev.name = name
+	ev.fnArg = fn
+	ev.arg = arg
+	ev.sid = sid
+	ev.seq = seq
+	ev.st = exec.st
+	s.pending++
+	s.push(ev)
+}
+
 // Halt stops the current Run/RunUntil call after the in-flight event
 // completes. Pending events remain queued.
 func (s *Scheduler) Halt() { s.halted = true }
@@ -304,19 +447,28 @@ func (s *Scheduler) Halt() { s.halted = true }
 type heapNode struct {
 	when time.Duration
 	seq  uint64
+	sid  StreamID
 	ev   *event
 }
 
-// less orders nodes by (when, seq): virtual time with FIFO tie-break.
+// less orders nodes by (when, stream, seq): virtual time, then stream id,
+// then the stream's FIFO counter. Keys are unique, so the pop sequence is a
+// total order. Because seq counters are per stream, an event's key depends
+// only on its causal history within its own stream — never on what other
+// streams (other cells, possibly in other domains) scheduled in between —
+// which is what makes the merged order shard-count independent.
 func (a heapNode) less(b heapNode) bool {
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.sid != b.sid {
+		return a.sid < b.sid
 	}
 	return a.seq < b.seq
 }
 
 func (s *Scheduler) push(ev *event) {
-	nd := heapNode{when: ev.when, seq: ev.seq, ev: ev}
+	nd := heapNode{when: ev.when, seq: ev.seq, sid: ev.sid, ev: ev}
 	q := append(s.queue, nd)
 	i := len(q) - 1
 	// Sift up.
@@ -409,6 +561,14 @@ func (s *Scheduler) Step() bool {
 		s.now = ev.when
 		s.executed++
 		s.pending--
+		// The executing event's stream becomes current, so work it schedules
+		// inherits its stream — causal chains stay in their cell's lane.
+		st := ev.st
+		s.cur = st
+		st.executed++
+		if s.digestOn {
+			st.digest = foldDigest(st.digest, ev.when, ev.sid, ev.seq, ev.name)
+		}
 		// Copy the callback out and recycle before invoking: the callback
 		// may schedule new work, which can immediately reuse this event
 		// (under a fresh generation).

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -506,4 +507,25 @@ func TestRTORollbackAckBeyondSndNxt(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.runUntil(t, func() bool { return got == len(data) && c.SendQueued() == 0 }, 30*time.Second)
+}
+
+// TestDialEphemeralPortExhaustion: once every ephemeral port to a
+// destination is in use, Dial must fail with ErrPortInUse rather than
+// silently inserting a duplicate tuple (whose segments would demultiplex to
+// the older connection and wedge both handshakes).
+func TestDialEphemeralPortExhaustion(t *testing.T) {
+	p := newPair(t, Config{})
+	const ephemeralPorts = 65536 - 49152
+	for i := 0; i < ephemeralPorts; i++ {
+		if _, err := p.a.Dial(p.bAddr, 80); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	if _, err := p.a.Dial(p.bAddr, 80); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("dial past port space: err = %v, want ErrPortInUse", err)
+	}
+	// A different destination has its own tuple space.
+	if _, err := p.a.Dial(p.bAddr, 81); err != nil {
+		t.Fatalf("dial to a fresh destination port: %v", err)
+	}
 }

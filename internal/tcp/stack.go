@@ -258,14 +258,20 @@ func (s *Stack) Dial(raddr ipv4.Addr, rport uint16) (*Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: dial %s", ErrNoRoute, raddr)
 	}
-	var t Tuple
+	var c *Conn
 	for range 65536 {
-		t = Tuple{LocalAddr: laddr, LocalPort: s.allocPort(), RemoteAddr: raddr, RemotePort: rport}
+		t := Tuple{LocalAddr: laddr, LocalPort: s.allocPort(), RemoteAddr: raddr, RemotePort: rport}
 		if s.findConn(t) == nil {
+			c = s.newConn(t)
 			break
 		}
 	}
-	c := s.newConn(t)
+	if c == nil {
+		// Every ephemeral port to this destination is taken. Failing loudly
+		// beats the alternative — inserting a duplicate tuple whose segments
+		// demultiplex to the older connection and wedge both handshakes.
+		return nil, fmt.Errorf("%w: no free ephemeral port to %s:%d", ErrPortInUse, raddr, rport)
+	}
 	c.state = StateSynSent
 	s.insertConn(c)
 	c.sendSYN(false)

@@ -31,7 +31,7 @@ import (
 	"tcpfailover/internal/tcp"
 )
 
-// Well-known scenario addresses.
+// Well-known scenario addresses (cell 0; see planCell for replicated cells).
 var (
 	ClientAddr    = ipv4.MustParseAddr("10.0.2.1")
 	PrimaryAddr   = ipv4.MustParseAddr("10.0.1.1")
@@ -44,6 +44,52 @@ var (
 	clientPrefix = ipv4.PrefixFrom(ipv4.MustParseAddr("10.0.2.0"), 24)
 	defaultRoute = ipv4.PrefixFrom(0, 0)
 )
+
+// cellPlan is the address and MAC plan for one testbed cell. The sharded
+// builder (shard.go) replicates the paper's Figure 1 once per cell; cell i
+// uses the 10.<i>.1.0/24 server subnet and 10.<i>.2.0/24 client subnet, so
+// cell 0 is bit-identical to the historical single-cell plan above.
+type cellPlan struct {
+	index     int
+	client    ipv4.Addr
+	primary   ipv4.Addr
+	secondary ipv4.Addr
+	tertiary  ipv4.Addr
+	routerLAN ipv4.Addr
+	routerWAN ipv4.Addr
+	serverPfx ipv4.Prefix
+	clientPfx ipv4.Prefix
+
+	macC, macP, macS, macT, macR1, macR2 ethernet.MAC
+}
+
+// maxCells bounds the cell index: the second address octet carries it, and
+// octet 100 is reserved for the inter-cell trunk subnets.
+const maxCells = 64
+
+func planCell(i int) cellPlan {
+	if i < 0 || i >= maxCells {
+		panic(fmt.Sprintf("tcpfailover: cell index %d out of range [0,%d)", i, maxCells))
+	}
+	o := byte(i)
+	return cellPlan{
+		index:     i,
+		client:    ipv4.AddrFrom4(10, o, 2, 1),
+		primary:   ipv4.AddrFrom4(10, o, 1, 1),
+		secondary: ipv4.AddrFrom4(10, o, 1, 2),
+		tertiary:  ipv4.AddrFrom4(10, o, 1, 3),
+		routerLAN: ipv4.AddrFrom4(10, o, 1, 254),
+		routerWAN: ipv4.AddrFrom4(10, o, 2, 254),
+		serverPfx: ipv4.PrefixFrom(ipv4.AddrFrom4(10, o, 1, 0), 24),
+		clientPfx: ipv4.PrefixFrom(ipv4.AddrFrom4(10, o, 2, 0), 24),
+		macC:      ethernet.MAC{2, 0, 0, o, 0, 0x0c},
+		macP:      ethernet.MAC{2, 0, 0, o, 0, 0x01},
+		macS:      ethernet.MAC{2, 0, 0, o, 0, 0x02},
+		macT:      ethernet.MAC{2, 0, 0, o, 0, 0x03},
+		macR1:     ethernet.MAC{2, 0, 0, o, 0, 0xf1},
+		macR2:     ethernet.MAC{2, 0, 0, o, 0, 0xf2},
+	}
+}
 
 // Options configures a Scenario.
 type Options struct {
@@ -89,6 +135,10 @@ type Options struct {
 	// schedule is armed by Start. Nil means a clean network — but
 	// Scenario.Faults still exists, so impairments can be added mid-run.
 	Faults *fault.Plan
+	// CellIndex selects the cell's address/MAC plan in a sharded multi-cell
+	// topology (see NewSharded). The default 0 is the historical single-cell
+	// plan, so plain scenarios are unchanged.
+	CellIndex int
 }
 
 // LANOptions returns the paper's LAN testbed: 100 Mbit/s Ethernet
@@ -144,6 +194,7 @@ type Scenario struct {
 	Obs *obs.Registry
 
 	opts          Options
+	plan          cellPlan
 	scheduleArmed bool
 }
 
@@ -153,45 +204,46 @@ var ErrTimeout = errors.New("tcpfailover: condition not met before deadline")
 
 // NewScenario builds the topology of the paper's Figure 1.
 func NewScenario(opts Options) (*Scenario, error) {
+	return newScenarioOn(sim.New(opts.Seed), opts)
+}
+
+// newScenarioOn builds one testbed cell on an existing scheduler. The
+// sharded builder uses it to place several cells on one domain scheduler;
+// the plain path hands it a fresh scheduler, which makes the two builds
+// literally the same code.
+func newScenarioOn(sched *sim.Scheduler, opts Options) (*Scenario, error) {
 	if opts.HostProfile == (netstack.Profile{}) {
 		opts.HostProfile = netstack.DefaultProfile()
 	}
-	sched := sim.New(opts.Seed)
-	sc := &Scenario{Sched: sched, opts: opts}
+	plan := planCell(opts.CellIndex)
+	sc := &Scenario{Sched: sched, opts: opts, plan: plan}
 
 	sc.ServerLAN = ethernet.NewSegment(sched, opts.ServerLAN)
 	sc.ClientLink = ethernet.NewSegment(sched, opts.ClientLink)
 
-	macC := ethernet.MAC{2, 0, 0, 0, 0, 0x0c}
-	macP := ethernet.MAC{2, 0, 0, 0, 0, 0x01}
-	macS := ethernet.MAC{2, 0, 0, 0, 0, 0x02}
-	macR1 := ethernet.MAC{2, 0, 0, 0, 0, 0xf1}
-	macR2 := ethernet.MAC{2, 0, 0, 0, 0, 0xf2}
-
 	sc.Router = netstack.NewHost(sched, "router", opts.HostProfile)
 	sc.Router.SetForwarding(true)
-	sc.Router.AttachIface(sc.ServerLAN, macR1, routerLANAddr, serverPrefix)  // if 0
-	sc.Router.AttachIface(sc.ClientLink, macR2, routerWANAddr, clientPrefix) // if 1
+	sc.Router.AttachIface(sc.ServerLAN, plan.macR1, plan.routerLAN, plan.serverPfx)  // if 0
+	sc.Router.AttachIface(sc.ClientLink, plan.macR2, plan.routerWAN, plan.clientPfx) // if 1
 	if opts.RouterARPDelay > 0 {
 		sc.Router.SetARPConfig(0, arp.Config{ProcessingDelay: opts.RouterARPDelay})
 	}
 
 	sc.Client = netstack.NewHost(sched, "client", opts.HostProfile)
 	sc.Client.SetTCPConfig(opts.TCP)
-	sc.Client.AttachIface(sc.ClientLink, macC, ClientAddr, clientPrefix)
-	sc.Client.AddRoute(defaultRoute, routerWANAddr, 0)
+	sc.Client.AttachIface(sc.ClientLink, plan.macC, plan.client, plan.clientPfx)
+	sc.Client.AddRoute(defaultRoute, plan.routerWAN, 0)
 
 	sc.Primary = netstack.NewHost(sched, "primary", opts.HostProfile)
 	sc.Primary.SetTCPConfig(opts.TCP)
-	sc.Primary.AttachIface(sc.ServerLAN, macP, PrimaryAddr, serverPrefix)
-	sc.Primary.AddRoute(defaultRoute, routerLANAddr, 0)
+	sc.Primary.AttachIface(sc.ServerLAN, plan.macP, plan.primary, plan.serverPfx)
+	sc.Primary.AddRoute(defaultRoute, plan.routerLAN, 0)
 
-	macT := ethernet.MAC{2, 0, 0, 0, 0, 0x03}
 	if !opts.Unreplicated {
 		sc.Secondary = netstack.NewHost(sched, "secondary", opts.HostProfile)
 		sc.Secondary.SetTCPConfig(opts.TCP)
-		sc.Secondary.AttachIface(sc.ServerLAN, macS, SecondaryAddr, serverPrefix)
-		sc.Secondary.AddRoute(defaultRoute, routerLANAddr, 0)
+		sc.Secondary.AttachIface(sc.ServerLAN, plan.macS, plan.secondary, plan.serverPfx)
+		sc.Secondary.AddRoute(defaultRoute, plan.routerLAN, 0)
 
 		cfg := opts.Replication
 		cfg.ServerPorts = append(cfg.ServerPorts, opts.ServerPorts...)
@@ -206,8 +258,8 @@ func NewScenario(opts Options) (*Scenario, error) {
 		case 2:
 			sc.Tertiary = netstack.NewHost(sched, "tertiary", opts.HostProfile)
 			sc.Tertiary.SetTCPConfig(opts.TCP)
-			sc.Tertiary.AttachIface(sc.ServerLAN, macT, TertiaryAddr, serverPrefix)
-			sc.Tertiary.AddRoute(defaultRoute, routerLANAddr, 0)
+			sc.Tertiary.AttachIface(sc.ServerLAN, plan.macT, plan.tertiary, plan.serverPfx)
+			sc.Tertiary.AddRoute(defaultRoute, plan.routerLAN, 0)
 			chain, err := replica.NewChain(sc.Primary, sc.Secondary, sc.Tertiary, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("scenario: %w", err)
@@ -219,7 +271,7 @@ func NewScenario(opts Options) (*Scenario, error) {
 	}
 
 	if !opts.ColdARP {
-		sc.warmARP(macC, macP, macS, macT, macR1, macR2)
+		sc.warmARP()
 	}
 
 	serverStations := map[fault.Role]*ethernet.NIC{
@@ -321,26 +373,27 @@ func (sc *Scenario) applyStep(step fault.Step) {
 	}
 }
 
-func (sc *Scenario) warmARP(macC, macP, macS, macT, macR1, macR2 ethernet.MAC) {
+func (sc *Scenario) warmARP() {
 	// "We made sure that the MAC addresses of all nodes were present in
 	// the ARP caches" (paper, section 9).
-	sc.Client.Iface(0).ARP().Seed(routerWANAddr, macR2)
-	sc.Router.Iface(1).ARP().Seed(ClientAddr, macC)
-	sc.Router.Iface(0).ARP().Seed(PrimaryAddr, macP)
-	sc.Primary.Iface(0).ARP().Seed(routerLANAddr, macR1)
+	p := sc.plan
+	sc.Client.Iface(0).ARP().Seed(p.routerWAN, p.macR2)
+	sc.Router.Iface(1).ARP().Seed(p.client, p.macC)
+	sc.Router.Iface(0).ARP().Seed(p.primary, p.macP)
+	sc.Primary.Iface(0).ARP().Seed(p.routerLAN, p.macR1)
 	if sc.Secondary != nil {
-		sc.Router.Iface(0).ARP().Seed(SecondaryAddr, macS)
-		sc.Secondary.Iface(0).ARP().Seed(routerLANAddr, macR1)
-		sc.Primary.Iface(0).ARP().Seed(SecondaryAddr, macS)
-		sc.Secondary.Iface(0).ARP().Seed(PrimaryAddr, macP)
+		sc.Router.Iface(0).ARP().Seed(p.secondary, p.macS)
+		sc.Secondary.Iface(0).ARP().Seed(p.routerLAN, p.macR1)
+		sc.Primary.Iface(0).ARP().Seed(p.secondary, p.macS)
+		sc.Secondary.Iface(0).ARP().Seed(p.primary, p.macP)
 	}
 	if sc.Tertiary != nil {
-		sc.Router.Iface(0).ARP().Seed(TertiaryAddr, macT)
-		sc.Tertiary.Iface(0).ARP().Seed(routerLANAddr, macR1)
-		sc.Tertiary.Iface(0).ARP().Seed(PrimaryAddr, macP)
-		sc.Tertiary.Iface(0).ARP().Seed(SecondaryAddr, macS)
-		sc.Primary.Iface(0).ARP().Seed(TertiaryAddr, macT)
-		sc.Secondary.Iface(0).ARP().Seed(TertiaryAddr, macT)
+		sc.Router.Iface(0).ARP().Seed(p.tertiary, p.macT)
+		sc.Tertiary.Iface(0).ARP().Seed(p.routerLAN, p.macR1)
+		sc.Tertiary.Iface(0).ARP().Seed(p.primary, p.macP)
+		sc.Tertiary.Iface(0).ARP().Seed(p.secondary, p.macS)
+		sc.Primary.Iface(0).ARP().Seed(p.tertiary, p.macT)
+		sc.Secondary.Iface(0).ARP().Seed(p.tertiary, p.macT)
 	}
 }
 
@@ -370,7 +423,7 @@ func (sc *Scenario) Start() {
 }
 
 // ServiceAddr returns the address clients connect to.
-func (sc *Scenario) ServiceAddr() ipv4.Addr { return PrimaryAddr }
+func (sc *Scenario) ServiceAddr() ipv4.Addr { return sc.plan.primary }
 
 // Run executes the simulation for a span of virtual time.
 func (sc *Scenario) Run(d time.Duration) error { return sc.Sched.RunFor(d) }
