@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline|adversary]
 //	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
 //	               [-faultrates R1,R2,...] [-connscale N1,N2,...]
 //	               [-shardscale N1,N2,...] [-shards S1,S2,...] [-json]
@@ -43,7 +43,7 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline, adversary")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
 		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
@@ -210,6 +210,9 @@ func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	}
 	if r.Timeline != nil {
 		timeline(*r.Timeline)
+	}
+	if r.Adversary != nil {
+		adversaryOut(r.Adversary)
 	}
 	if metricsOut != "" {
 		if err := writeMetrics(metricsOut); err != nil {
@@ -397,6 +400,29 @@ func shardScaleOut(points []bench.ShardScalePoint) {
 		fmt.Printf("%8d %6d %7d %8d %12d %12.0f %14.0f %14.0f %8.2f %6.2f\n",
 			p.Conns, p.Cells, p.Shards, p.Workers, p.Rounds, float64(p.WallNS)/1e6,
 			p.EventsPerSec, p.EventsPerSecPerCore, p.Speedup, p.Efficiency)
+	}
+	fmt.Println()
+}
+
+func adversaryOut(points []bench.AdversaryPoint) {
+	fmt.Println("=== E11 (extension): adversarial attack-outcome matrix ===")
+	fmt.Println("(seeded in-LAN attacker vs a live connection: blind RST probes,")
+	fmt.Println(" forged gratuitous-ARP takeover, stale-data ACK reflection, and a")
+	fmt.Println(" spoofed SYN flood, against both topologies with the hardening")
+	fmt.Println(" knobs off and on; every cell is a pure function of its seed)")
+	fmt.Printf("%10s %10s %9s %16s %9s %10s %6s %7s %7s %7s\n",
+		"attack", "topology", "hardened", "outcome", "injected", "delivered", "drops", "arpRej", "amp", "evict")
+	for i, p := range points {
+		if i > 0 && p.Attack != points[i-1].Attack {
+			fmt.Println()
+		}
+		h := "off"
+		if p.Hardened {
+			h = "on"
+		}
+		fmt.Printf("%10s %10s %9s %16s %9d %10d %6d %7d %7.2f %7d\n",
+			p.Attack, p.Topology, h, p.Outcome, p.Injected, p.Delivered,
+			p.SeqDrops, p.ARPFiltered, p.Amplification, p.Evictions)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,180 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover/internal/arp"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/sim"
+	"tcpfailover/internal/tcp"
+)
+
+var (
+	macA     = ethernet.MAC{2, 0, 0, 0, 0, 0xaa}
+	macB     = ethernet.MAC{2, 0, 0, 0, 0, 0xbb}
+	macRogue = ethernet.MAC{2, 0, 0, 0, 0, 0xee}
+	addrA    = ipv4.MustParseAddr("10.0.1.1")
+	addrB    = ipv4.MustParseAddr("10.0.1.2")
+)
+
+// sendIPv4 puts a minimal IPv4 datagram from a to b's MAC on the wire.
+func sendIPv4(t *testing.T, nic *ethernet.NIC, dstMAC ethernet.MAC, src, dst ipv4.Addr) {
+	t.Helper()
+	dgram := ipv4.Marshal(ipv4.Header{TTL: 64, Protocol: ipv4.ProtoTCP, Src: src, Dst: dst},
+		tcp.Marshal(src, dst, &tcp.Segment{SrcPort: 1, DstPort: 2, Flags: tcp.FlagACK}))
+	if err := nic.Send(ethernet.Frame{Dst: dstMAC, Type: ethernet.TypeIPv4, Payload: dgram}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestStationLearnsBindings(t *testing.T) {
+	sched := sim.New(1)
+	seg := ethernet.NewSegment(sched, ethernet.Config{})
+	na := seg.Attach(macA)
+	nb := seg.Attach(macB)
+	nb.SetHandler(func(f ethernet.Frame) {
+		if f.Buf != nil {
+			f.Buf.Release()
+		}
+	})
+	st := Attach(sched, seg, macRogue, 42)
+
+	sendIPv4(t, na, macB, addrA, addrB)
+	if err := sched.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snooped == 0 {
+		t.Fatal("station snooped nothing")
+	}
+	if m, ok := st.MACFor(addrA); !ok || m != macA {
+		t.Fatalf("sender binding not learned: %v %v", m, ok)
+	}
+	if m, ok := st.MACFor(addrB); !ok || m != macB {
+		t.Fatalf("next-hop binding not learned: %v %v", m, ok)
+	}
+}
+
+func TestInjectTCPSpoofsAllLayers(t *testing.T) {
+	sched := sim.New(1)
+	seg := ethernet.NewSegment(sched, ethernet.Config{})
+	na := seg.Attach(macA)
+	nb := seg.Attach(macB)
+	var got []ethernet.Frame
+	var payloads [][]byte
+	nb.SetHandler(func(f ethernet.Frame) {
+		got = append(got, f)
+		payloads = append(payloads, append([]byte(nil), f.Payload...))
+		if f.Buf != nil {
+			f.Buf.Release()
+		}
+	})
+	st := Attach(sched, seg, macRogue, 42)
+	sendIPv4(t, na, macB, addrA, addrB) // teach the station the bindings
+
+	sched.After(10*time.Millisecond, "attack", func() {
+		if !st.InjectTCP(addrA, addrB, &tcp.Segment{SrcPort: 7, DstPort: 9, Seq: 99, Flags: tcp.FlagRST}) {
+			t.Error("InjectTCP refused with learned bindings")
+		}
+	})
+	if err := sched.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || st.Injected != 1 {
+		t.Fatalf("victim saw %d frames, injected=%d", len(got), st.Injected)
+	}
+	forged, fb := got[1], payloads[1]
+	if forged.Src != macA {
+		t.Errorf("L2 source not spoofed: %v", forged.Src)
+	}
+	if src := ipv4.GetAddr(fb[12:16]); src != addrA {
+		t.Errorf("L3 source not spoofed: %v", src)
+	}
+	seg2 := fb[ipv4.HeaderLen:]
+	if tcp.ComputeChecksum(addrA, addrB, seg2) != 0 {
+		t.Error("forged segment has a bad checksum")
+	}
+	if !tcp.RawFlags(seg2).Has(tcp.FlagRST) || tcp.RawSeq(seg2) != 99 {
+		t.Errorf("forged segment mangled: flags=%v seq=%v", tcp.RawFlags(seg2), tcp.RawSeq(seg2))
+	}
+}
+
+func TestInjectGratuitousARP(t *testing.T) {
+	sched := sim.New(1)
+	seg := ethernet.NewSegment(sched, ethernet.Config{})
+	nb := seg.Attach(macB)
+	var got [][]byte
+	nb.SetHandler(func(f ethernet.Frame) {
+		if f.Type == ethernet.TypeARP {
+			got = append(got, append([]byte(nil), f.Payload...))
+		}
+		if f.Buf != nil {
+			f.Buf.Release()
+		}
+	})
+	st := Attach(sched, seg, macRogue, 42)
+	sched.After(time.Millisecond, "attack", func() { st.InjectGratuitousARP(addrA) })
+	if err := sched.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("victim saw %d ARP frames", len(got))
+	}
+	pkt, err := arp.Unmarshal(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Op != arp.OpRequest || pkt.SenderIP != addrA || pkt.TargetIP != addrA || pkt.SenderMAC != macRogue {
+		t.Errorf("not the takeover announce: %+v", pkt)
+	}
+}
+
+// TestAttackDeterminism checks that the same seed produces byte-identical
+// forged frames, independent of anything else on the segment.
+func TestAttackDeterminism(t *testing.T) {
+	capture := func(extraTraffic bool) [][]byte {
+		sched := sim.New(1)
+		seg := ethernet.NewSegment(sched, ethernet.Config{})
+		na := seg.Attach(macA)
+		nb := seg.Attach(macB)
+		var frames [][]byte
+		nb.SetHandler(func(f ethernet.Frame) {
+			if f.Src == macA || f.Src == macRogue {
+				// keep only forged + teaching frames, in arrival order
+				frames = append(frames, append([]byte(nil), f.Payload...))
+			}
+			if f.Buf != nil {
+				f.Buf.Release()
+			}
+		})
+		st := Attach(sched, seg, macRogue, 7)
+		sendIPv4(t, na, macB, addrA, addrB)
+		RSTInjection{Src: addrA, Dst: addrB, SrcPort: 1, DstPort: 2,
+			Probes: 4, Start: 5 * time.Millisecond}.Launch(st)
+		AckStorm{Src: addrA, Dst: addrB, SrcPort: 1, DstPort: 2,
+			Segments: 4, Start: 20 * time.Millisecond}.Launch(st)
+		if extraTraffic {
+			sched.After(12*time.Millisecond, "noise", func() {
+				sendIPv4(t, na, macB, addrA, addrB)
+			})
+		}
+		if err := sched.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return frames
+	}
+	quiet, noisy := capture(false), capture(true)
+	if len(quiet) != 9 || len(noisy) != 10 {
+		t.Fatalf("frame counts: quiet=%d noisy=%d", len(quiet), len(noisy))
+	}
+	// The 8 forged frames must be identical whether or not unrelated
+	// traffic interleaved: drop the noise frame (index 5: it lands between
+	// the RST probes and the storm) and compare.
+	trimmed := append(append([][]byte(nil), noisy[:5]...), noisy[6:]...)
+	for i := range quiet {
+		if string(quiet[i]) != string(trimmed[i]) {
+			t.Fatalf("frame %d differs with interleaved traffic", i)
+		}
+	}
+}

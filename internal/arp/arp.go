@@ -122,6 +122,15 @@ type Module struct {
 	// srcIP supplies the sender address for outgoing requests.
 	srcIP func() ipv4.Addr
 
+	// filter, when set, is consulted before a received sender binding is
+	// learned or refreshed; a false verdict discards the binding and counts
+	// it. It models ARP-announce authentication: the paper's IP takeover is
+	// a gratuitous ARP, which is exactly what a rogue station forges to
+	// hijack a live connection, so a hardened deployment pins each
+	// protected address to the MACs of its replica group.
+	filter   func(ip ipv4.Addr, mac ethernet.MAC) bool
+	rejected int64
+
 	cache   map[ipv4.Addr]entry
 	waiting map[ipv4.Addr]*pending
 }
@@ -158,6 +167,37 @@ func (m *Module) Seed(ip ipv4.Addr, mac ethernet.MAC) {
 
 // Flush discards the cache.
 func (m *Module) Flush() { m.cache = make(map[ipv4.Addr]entry) }
+
+// SetBindingFilter installs f, consulted before the module learns or
+// refreshes a sender binding from a received ARP packet. A nil filter (the
+// default) accepts every binding, which is classic unauthenticated ARP.
+// Seeded entries bypass the filter: they model static configuration.
+func (m *Module) SetBindingFilter(f func(ip ipv4.Addr, mac ethernet.MAC) bool) {
+	m.filter = f
+}
+
+// RejectedBindings returns how many sender bindings the filter refused.
+func (m *Module) RejectedBindings() int64 { return m.rejected }
+
+// AuthorizedBindings builds a binding filter that pins each listed address
+// to an allowed MAC set; addresses not listed remain unrestricted. The
+// scenario builder authorizes every replica's MAC for the service address,
+// so the legitimate takeover announce still rebinds it while a rogue
+// station's forged gratuitous ARP is rejected.
+func AuthorizedBindings(auth map[ipv4.Addr][]ethernet.MAC) func(ipv4.Addr, ethernet.MAC) bool {
+	return func(ip ipv4.Addr, mac ethernet.MAC) bool {
+		macs, ok := auth[ip]
+		if !ok {
+			return true
+		}
+		for _, m := range macs {
+			if m == mac {
+				return true
+			}
+		}
+		return false
+	}
+}
 
 // Resolve invokes cb with the MAC for ip, sending requests as needed. The
 // callback runs inside the event loop, possibly synchronously on cache hit.
@@ -235,8 +275,12 @@ func (m *Module) HandleFrame(f ethernet.Frame) {
 		return
 	}
 	// Learn/refresh the sender binding. The ProcessingDelay models slow-path
-	// table maintenance (notably in the router during IP takeover).
-	if !pkt.SenderIP.IsZero() {
+	// table maintenance (notably in the router during IP takeover). The
+	// binding filter runs at receive time: an unauthorized announce must not
+	// occupy a slow-path slot either.
+	if !pkt.SenderIP.IsZero() && m.filter != nil && !m.filter(pkt.SenderIP, pkt.SenderMAC) {
+		m.rejected++
+	} else if !pkt.SenderIP.IsZero() {
 		update := func() {
 			m.cache[pkt.SenderIP] = entry{
 				mac:     pkt.SenderMAC,

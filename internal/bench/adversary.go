@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/adversary"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// --- E11: adversarial attack-outcome matrix ----------------------------------
+
+// adversaryAttacks is the attack axis of the matrix, in report order.
+var adversaryAttacks = []string{"rst", "arp", "ackstorm", "synflood"}
+
+// rogueMAC is the attacker station's hardware address — outside every cell
+// plan, so no legitimate station answers for it.
+var rogueMAC = ethernet.MAC{2, 0, 0, 0, 0, 0xad}
+
+// AdversaryPoint is one cell of the attack-outcome matrix: one attack
+// against one topology (standard TCP vs. the failover bridge pair), with
+// the hardening knobs off or on. Every field is a function of virtual time
+// and the seed, so the matrix is byte-identical across worker and shard
+// counts like every other experiment.
+type AdversaryPoint struct {
+	Attack   string `json:"attack"`
+	Topology string `json:"topology"` // "standard" | "failover"
+	Hardened bool   `json:"hardened"`
+	Outcome  string `json:"outcome"`
+
+	Injected  int64 `json:"frames_injected"`  // frames the attacker forged
+	Delivered int64 `json:"bytes_delivered"`  // client payload progress
+	SeqDrops  int64 `json:"seq_invalid_drops"` // bridge in-window validation
+	ARPFiltered int64 `json:"arp_rejected"`   // bindings the ARP filter refused
+
+	Reflected     int64   `json:"reflected_frames"` // ackstorm: frames at the client
+	Amplification float64 `json:"amplification"`    // ackstorm: reflected/injected
+
+	BridgeConns   int   `json:"bridge_conns"`   // primary bridge table at end
+	BridgeFlows   int   `json:"bridge_flows"`   // secondary flow cache at end
+	EndpointConns int   `json:"endpoint_conns"` // primary host's TCP table at end
+	Evictions     int64 `json:"evictions"`      // LRU evictions (both bridges)
+	AttackerRx    int64 `json:"attacker_unicast_rx"`
+
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// AdversaryMatrix runs the E11 adversarial suite: four seeded attack
+// models — blind RST injection, forged gratuitous-ARP takeover, stale-data
+// ACK-storm reflection, and a spoofed SYN flood — each against both the
+// standard-TCP baseline and the failover topology, with the hardening
+// knobs (strict endpoint sequence validation, bridge in-window validation,
+// ARP-announce authentication, bounded LRU flow tables) off and on.
+// 4 attacks x 2 topologies x 2 hardening states = 16 cells.
+func AdversaryMatrix() ([]AdversaryPoint, error) {
+	type cell struct {
+		attack             string
+		failover, hardened bool
+	}
+	var cells []cell
+	for _, a := range adversaryAttacks {
+		for _, fo := range []bool{false, true} {
+			for _, h := range []bool{false, true} {
+				cells = append(cells, cell{a, fo, h})
+			}
+		}
+	}
+	points := make([]AdversaryPoint, len(cells))
+	err := parallelEach(len(cells), func(j int) error {
+		c := cells[j]
+		p, err := runAdversaryCell(c.attack, c.failover, c.hardened, int64(11000+j))
+		if err != nil {
+			return fmt.Errorf("adversary %s/%v/hardened=%v: %w", c.attack, c.failover, c.hardened, err)
+		}
+		points[j] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// runAdversaryCell builds one scenario, wires the workload and the rogue
+// station, launches the attack mid-stream, and classifies the outcome.
+func runAdversaryCell(attack string, failover, hardened bool, seed int64) (AdversaryPoint, error) {
+	const total = 1 << 20  // push-workload bytes
+	const echoBytes = 64   // echo-workload request size
+	const floodCount = 256 // synflood SYNs
+	const stormSegs = 64   // ackstorm forged segments
+	const flowCap = 64     // hardened bridge table bound
+
+	opts := tcpfailover.LANOptions()
+	opts.Seed = seed
+	opts.ServerPorts = []uint16{benchPort}
+	opts.Unreplicated = !failover
+	if hardened {
+		opts.TCP.StrictSeqValidation = true
+		opts.ARPAuth = true
+		opts.Replication.Bridge.ValidateSeq = true
+		opts.Replication.Bridge.MaxConns = flowCap
+		opts.Replication.SecondaryMaxFlows = flowCap
+	}
+	sc, err := tcpfailover.NewScenario(opts)
+	if err != nil {
+		return AdversaryPoint{}, err
+	}
+
+	echo := attack == "ackstorm"
+	install := func(h *netstack.Host) error {
+		if echo {
+			_, err := apps.NewEchoServer(h.TCP(), benchPort)
+			return err
+		}
+		_, err := apps.NewPushServer(h.TCP(), benchPort, total)
+		return err
+	}
+	if failover {
+		if err := sc.Group.OnEach(install); err != nil {
+			return AdversaryPoint{}, err
+		}
+	} else if err := install(sc.Primary); err != nil {
+		return AdversaryPoint{}, err
+	}
+	sc.Start()
+
+	// The rogue station snoops the server LAN from t=0; by the time the
+	// attack fires it has learned the victim MACs, the next hop toward the
+	// client, and the connection's ephemeral port.
+	st := adversary.Attach(sc.Sched, sc.ServerLAN, rogueMAC, uint64(seed))
+
+	conn, err := sc.Client.TCP().Dial(sc.ServiceAddr(), benchPort)
+	if err != nil {
+		return AdversaryPoint{}, err
+	}
+	recv := apps.NewReceiver(conn, sc.Sched)
+	died := false
+	conn.OnClose(func(err error) {
+		if err != nil {
+			died = true
+		}
+	})
+	if echo {
+		req := make([]byte, echoBytes)
+		apps.Pattern(req, 0)
+		conn.OnEstablished(func() { _, _ = conn.Write(req) })
+	}
+
+	service := sc.ServiceAddr()
+	clientNIC := sc.Client.Iface(0).NIC()
+	attackAt := 25 * time.Millisecond
+	var measureEnd time.Duration // ackstorm/synflood: run at least this far
+	var rxBase, injBase int64
+
+	switch attack {
+	case "rst":
+		// The probe parameters need the snooped ephemeral port, so the
+		// launch itself is an event: everything after it is still a pure
+		// function of the seed.
+		sc.Sched.At(attackAt, "adversary.launch", func() {
+			peer, ok := st.PeerOf(service, benchPort)
+			if !ok {
+				return
+			}
+			adversary.RSTInjection{
+				Src: peer.Addr, SrcPort: peer.Port,
+				Dst: service, DstPort: benchPort,
+				Start: attackAt + time.Millisecond,
+			}.Launch(st)
+		})
+	case "arp":
+		adversary.ARPTakeover{Victim: service, Start: attackAt}.Launch(st)
+	case "ackstorm":
+		stormStart := 50 * time.Millisecond
+		measureEnd = stormStart + stormSegs*200*time.Microsecond + 300*time.Millisecond
+		sc.Sched.At(stormStart, "adversary.launch", func() {
+			rxBase = clientNIC.RxFrames()
+			injBase = st.Injected
+			peer, ok := st.PeerOf(service, benchPort)
+			if !ok {
+				return
+			}
+			adversary.AckStorm{
+				Src: peer.Addr, SrcPort: peer.Port,
+				Dst: service, DstPort: benchPort,
+				Segments: stormSegs,
+				Start:    stormStart + time.Millisecond,
+			}.Launch(st)
+		})
+	case "synflood":
+		srcs := make([]ipv4.Addr, 64)
+		for i := range srcs {
+			// An unrouted subnet: the SYN-ACKs die at the router and the
+			// spoofed sources never answer, so embryonic state persists.
+			srcs[i] = ipv4.AddrFrom4(10, 0, 9, byte(1+i))
+		}
+		adversary.SYNFlood{
+			Target: service, Port: benchPort,
+			Sources: srcs, Count: floodCount, Start: attackAt,
+		}.Launch(st)
+		measureEnd = attackAt + floodCount*200*time.Microsecond + 100*time.Millisecond
+	}
+
+	// Walk the event loop watching client progress. A stall longer than
+	// stallAfter means the stream is dead even though nobody said so — the
+	// signature of a wedged bridge or a hijacked address.
+	const stallAfter = 5 * time.Second
+	var lastProgress time.Duration
+	var prevReceived int64
+	stalled := false
+	wantBytes := int64(total)
+	if echo {
+		wantBytes = echoBytes
+	}
+	done := func() bool {
+		if echo {
+			return recv.Received >= echoBytes && sc.Now() >= measureEnd
+		}
+		return recv.EOF
+	}
+	for !done() && !died {
+		if !sc.Sched.Step() {
+			break
+		}
+		if recv.Received != prevReceived {
+			prevReceived = recv.Received
+			lastProgress = sc.Now()
+		}
+		if sc.Now()-lastProgress > stallAfter {
+			stalled = true
+			break
+		}
+		if sc.Now() > time.Hour {
+			return AdversaryPoint{}, fmt.Errorf("timeout at %v (received=%d)", sc.Now(), recv.Received)
+		}
+	}
+	// Keep stepping until the attack and its aftermath are fully on the
+	// books (the stream can finish before the flood does).
+	for sc.Now() < measureEnd && !died {
+		if !sc.Sched.Step() {
+			break
+		}
+	}
+
+	p := AdversaryPoint{
+		Attack:     attack,
+		Topology:   "standard",
+		Hardened:   hardened,
+		Injected:   st.Injected,
+		Delivered:  recv.Received,
+		AttackerRx: st.UnicastRx,
+		VirtualMS:  float64(sc.Now()) / float64(time.Millisecond),
+	}
+	if failover {
+		p.Topology = "failover"
+		pb, sb := sc.Group.PrimaryBridge(), sc.Group.SecondaryBridge()
+		p.SeqDrops = pb.Stats().SeqInvalidDrops
+		p.BridgeConns = pb.Conns()
+		p.BridgeFlows = sb.Flows()
+		p.Evictions = pb.Stats().ConnsEvicted + sb.Stats().FlowsEvicted
+	}
+	p.EndpointConns = len(sc.Primary.TCP().Conns())
+	for _, m := range []interface{ RejectedBindings() int64 }{
+		sc.Router.Iface(0).ARP(), sc.Router.Iface(1).ARP(),
+		sc.Client.Iface(0).ARP(), sc.Primary.Iface(0).ARP(),
+	} {
+		p.ARPFiltered += m.RejectedBindings()
+	}
+	if sc.Secondary != nil {
+		p.ARPFiltered += sc.Secondary.Iface(0).ARP().RejectedBindings()
+	}
+	if attack == "ackstorm" {
+		p.Reflected = clientNIC.RxFrames() - rxBase
+		if inj := st.Injected - injBase; inj > 0 {
+			p.Amplification = float64(p.Reflected) / float64(inj)
+		}
+	}
+
+	completed := recv.Received >= wantBytes && recv.BadAt < 0 && !died
+	established := 0
+	for _, c := range sc.Primary.TCP().Conns() {
+		if c.State() == tcp.StateEstablished {
+			established++
+		}
+	}
+	switch attack {
+	case "rst":
+		switch {
+		case died:
+			p.Outcome = string(adversary.OutcomeReset)
+		case completed:
+			p.Outcome = string(adversary.OutcomeIntact)
+		case failover && p.BridgeConns == 0:
+			// Bridge state gone, endpoints in limbo, client never told.
+			p.Outcome = string(adversary.OutcomeWedged)
+		case !failover && established == 0:
+			// The forged RST tore the server endpoint down.
+			p.Outcome = string(adversary.OutcomeReset)
+		default:
+			p.Outcome = string(adversary.OutcomeWedged)
+		}
+	case "arp":
+		switch {
+		case completed:
+			p.Outcome = string(adversary.OutcomeIntact)
+		case st.UnicastRx > 0:
+			// The victim's traffic is arriving at the rogue MAC.
+			p.Outcome = string(adversary.OutcomeHijacked)
+		default:
+			p.Outcome = string(adversary.OutcomeWedged)
+		}
+	case "ackstorm":
+		if p.Amplification >= 0.25 {
+			p.Outcome = string(adversary.OutcomeAmplified)
+		} else {
+			p.Outcome = string(adversary.OutcomeIntact)
+		}
+	case "synflood":
+		grown := p.BridgeConns
+		if !failover {
+			grown = p.EndpointConns
+		}
+		if grown >= floodCount*3/4 {
+			p.Outcome = string(adversary.OutcomeExhausted)
+		} else {
+			p.Outcome = string(adversary.OutcomeIntact)
+		}
+	}
+	_ = stalled
+	addEvents(sc)
+	return p, nil
+}

@@ -11,7 +11,7 @@ import (
 type Config struct {
 	// Experiments names the experiments to run: connscale, shardscale,
 	// connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep,
-	// failtimeline.
+	// failtimeline, adversary.
 	// Empty or containing "all" runs everything. Execution order is always
 	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
@@ -47,7 +47,7 @@ type Config struct {
 // shardscale follows immediately: it too measures the simulator's own
 // wall-clock cost and wants a heap that has not been churned by the
 // virtual-time experiments.
-var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline"}
+var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary"}
 
 // enabled expands Config.Experiments into a membership set, rejecting
 // unknown names.
@@ -93,6 +93,7 @@ type Results struct {
 	Failover   *FailoverResult   `json:"failover,omitempty"`
 	FaultSweep []FaultPoint      `json:"fault_sweep,omitempty"`
 	Timeline   *TimelineResult   `json:"timeline,omitempty"`
+	Adversary  []AdversaryPoint  `json:"adversary,omitempty"`
 	// ConnScale and ShardScale are the Results members with host-dependent
 	// fields (wall-clock and allocation counters); the determinism test
 	// compares the experiments above, which are functions of the seeds only.
@@ -304,6 +305,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 			}
 			t.Results.Timeline = &r
 			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["adversary"] {
+		if err := t.measure("adversary", func() error {
+			var err error
+			t.Results.Adversary, err = AdversaryMatrix()
+			return err
 		}); err != nil {
 			return nil, err
 		}

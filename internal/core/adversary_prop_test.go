@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"tcpfailover/internal/fault"
+	"tcpfailover/internal/tcp"
+)
+
+// Property tests for the bridge hardening knobs: each defense is gated by a
+// paired run of 1000 seeded trials — with the knob off the attack must
+// succeed (establishing that the threat is real and the attack model
+// works), with it on the attack must be defeated. The trials draw forged
+// sequence numbers from the same seeded stream in both runs, so the pair
+// compares the defense, not the luck.
+
+const propTrials = 1000
+
+// establishForAttack walks the handshake and one ack exchange so the
+// connection reaches the steady state an off-path attacker targets:
+// combined SYN sent, both replica acks recorded, last-ack valid.
+func (f *priFixture) establishForAttack(t *testing.T) {
+	t.Helper()
+	f.establish(t)
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 1, Flags: tcp.FlagACK, Window: 65535})
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1, Flags: tcp.FlagACK, Window: 60000})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1, Flags: tcp.FlagACK, Window: 58000})
+}
+
+// TestPropBridgeBlindRST: a forged client-side RST with a uniformly random
+// sequence number. Unvalidated, ANY random value tears down the bridge's
+// connection state (the segment selector never looks at seq); validated,
+// the probe must land inside a 64 KB window of a 4 GB space.
+func TestPropBridgeBlindRST(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		validate bool
+	}{
+		{"off-attack-succeeds", false},
+		{"on-attack-defeated", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := fault.NewRand(0xb11d).Split("rst")
+			killed, drops := 0, int64(0)
+			for i := 0; i < propTrials; i++ {
+				f := newPriFixtureCfg(t, PrimaryConfig{ValidateSeq: tc.validate})
+				f.establishForAttack(t)
+				f.fromClientWire(t, &tcp.Segment{
+					Seq: tcp.Seq(rng.Uint64()), Ack: tcp.Seq(rng.Uint64()),
+					Flags: tcp.FlagRST | tcp.FlagACK,
+				})
+				if f.b.Conns() == 0 {
+					killed++
+				}
+				drops += f.b.Stats().SeqInvalidDrops
+			}
+			if !tc.validate {
+				if killed != propTrials {
+					t.Errorf("unvalidated: %d/%d blind RSTs killed the connection, want all", killed, propTrials)
+				}
+				if drops != 0 {
+					t.Errorf("unvalidated bridge recorded %d seq drops", drops)
+				}
+			} else {
+				if killed > 3 {
+					t.Errorf("validated: %d/%d blind RSTs still killed the connection", killed, propTrials)
+				}
+				if drops != int64(propTrials-killed) {
+					t.Errorf("drops = %d, want %d", drops, propTrials-killed)
+				}
+			}
+		})
+	}
+}
+
+// TestPropBridgeDivertedRST: the same probe arriving via the secondary's
+// diverted path (an attacker spoofing the replica instead of the client).
+func TestPropBridgeDivertedRST(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		validate bool
+	}{
+		{"off-attack-succeeds", false},
+		{"on-attack-defeated", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := fault.NewRand(0xb11d).Split("diverted")
+			killed, drops := 0, int64(0)
+			for i := 0; i < propTrials; i++ {
+				f := newPriFixtureCfg(t, PrimaryConfig{ValidateSeq: tc.validate})
+				f.establishForAttack(t)
+				f.fromSecondaryWire(t, &tcp.Segment{
+					Seq: tcp.Seq(rng.Uint64()), Ack: tcp.Seq(rng.Uint64()),
+					Flags: tcp.FlagRST | tcp.FlagACK,
+				})
+				if f.b.Conns() == 0 {
+					killed++
+				}
+				drops += f.b.Stats().SeqInvalidDrops
+			}
+			if !tc.validate {
+				if killed != propTrials {
+					t.Errorf("unvalidated: %d/%d diverted RSTs killed the connection, want all", killed, propTrials)
+				}
+			} else {
+				if killed > 3 {
+					t.Errorf("validated: %d/%d diverted RSTs still killed the connection", killed, propTrials)
+				}
+				if drops != int64(propTrials-killed) {
+					t.Errorf("drops = %d, want %d", drops, propTrials-killed)
+				}
+			}
+		})
+	}
+}
+
+// TestPropBridgeStaleDataHorizon: forged client data with a random sequence
+// number — the ACK-storm reflection primitive. Unvalidated, roughly half
+// the probes land at-or-below the connection's cumulative ack and trigger
+// the bridge's immediate duplicate-ack reply; validated, a probe must land
+// within the ±64 KB horizon of the ack point to get any reaction at all.
+func TestPropBridgeStaleDataHorizon(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for _, tc := range []struct {
+		name     string
+		validate bool
+	}{
+		{"off-attack-succeeds", false},
+		{"on-attack-defeated", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := fault.NewRand(0xb11d).Split("stale")
+			reflected, drops := 0, int64(0)
+			for i := 0; i < propTrials; i++ {
+				f := newPriFixtureCfg(t, PrimaryConfig{ValidateSeq: tc.validate})
+				f.establishForAttack(t)
+				emitted := len(f.sent)
+				f.fromClientWire(t, &tcp.Segment{
+					Seq: tcp.Seq(rng.Uint64()), Ack: sISS + 1,
+					Flags: tcp.FlagACK | tcp.FlagPSH, Window: 65535, Payload: payload,
+				})
+				if len(f.sent) > emitted {
+					reflected++
+				}
+				drops += f.b.Stats().SeqInvalidDrops
+			}
+			if !tc.validate {
+				// The ack-or-below half-space triggers the duplicate ack:
+				// binomial(1000, ~1/2) stays within these bounds with margin.
+				if reflected < 400 || reflected > 600 {
+					t.Errorf("unvalidated: %d/%d stale probes reflected, want ~500", reflected, propTrials)
+				}
+			} else {
+				if reflected > 3 {
+					t.Errorf("validated: %d/%d stale probes still reflected", reflected, propTrials)
+				}
+				if drops < int64(propTrials)-3 {
+					t.Errorf("drops = %d, want ~%d", drops, propTrials)
+				}
+			}
+		})
+	}
+}

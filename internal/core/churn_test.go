@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// Flow-table growth under SYN-flood churn: unbounded tables track every
+// spoofed tuple; with a cap the live entry count stays at the bound, the
+// overflow shows up in the eviction counters, and LRU order protects the
+// entry that keeps seeing traffic.
+
+// churnSYN pushes a client SYN from a distinct spoofed (addr, port) tuple
+// through the primary bridge's inbound hook.
+func churnSYN(f *priFixture, i int) {
+	src := ipv4.AddrFrom4(10, 9, byte(i>>8), byte(i))
+	seg := &tcp.Segment{SrcPort: uint16(20000 + i), DstPort: 80, Seq: tcp.Seq(i),
+		Flags: tcp.FlagSYN, Window: 65535, Options: []tcp.Option{tcp.MSSOption(1460)}}
+	raw := tcp.Marshal(src, f.aP, seg)
+	f.b.inbound(0, ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: f.aP}, raw)
+}
+
+func TestPrimaryBridgeChurnUnbounded(t *testing.T) {
+	f := newPriFixture(t)
+	for i := 0; i < propTrials; i++ {
+		churnSYN(f, i)
+	}
+	if got := f.b.Conns(); got != propTrials {
+		t.Errorf("unbounded bridge tracks %d conns, want %d", got, propTrials)
+	}
+	if ev := f.b.Stats().ConnsEvicted; ev != 0 {
+		t.Errorf("unbounded bridge evicted %d", ev)
+	}
+}
+
+func TestPrimaryBridgeChurnBounded(t *testing.T) {
+	const cap = 64
+	f := newPriFixtureCfg(t, PrimaryConfig{MaxConns: cap})
+	// A legitimate connection established before the flood…
+	f.establishForAttack(t)
+	for i := 0; i < propTrials; i++ {
+		churnSYN(f, i)
+		// …that keeps carrying traffic while the flood churns, so the LRU
+		// must keep it fresh.
+		if i%16 == 0 {
+			f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 1,
+				Flags: tcp.FlagACK, Window: 65535})
+		}
+	}
+	if got := f.b.Conns(); got != cap {
+		t.Errorf("bounded bridge tracks %d conns, want %d", got, cap)
+	}
+	wantEv := int64(propTrials + 1 - cap)
+	if ev := f.b.Stats().ConnsEvicted; ev != wantEv {
+		t.Errorf("evictions = %d, want %d", ev, wantEv)
+	}
+	// The legitimate connection survived the entire flood.
+	f.sent = nil
+	f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 1,
+		Flags: tcp.FlagACK, Window: 65535})
+	f.fromPrimaryTCP(t, &tcp.Segment{Seq: pISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK | tcp.FlagPSH, Window: 60000, Payload: []byte("live")})
+	f.fromSecondaryWire(t, &tcp.Segment{Seq: sISS + 1, Ack: clientISS + 1,
+		Flags: tcp.FlagACK, Window: 58000, Payload: []byte("live")})
+	if len(f.sent) == 0 || string(f.sent[len(f.sent)-1].seg.Payload) != "live" {
+		t.Errorf("legitimate connection lost to the flood (emitted %d segments)", len(f.sent))
+	}
+}
+
+// snoopSYN pushes a spoofed client SYN through the secondary bridge's
+// promiscuous snoop path.
+func snoopSYN(t *testing.T, f *secFixture, i int) {
+	t.Helper()
+	src := ipv4.AddrFrom4(10, 9, byte(i>>8), byte(i))
+	seg := &tcp.Segment{SrcPort: uint16(20000 + i), DstPort: 80, Seq: tcp.Seq(i),
+		Flags: tcp.FlagSYN, Window: 65535, Options: []tcp.Option{tcp.MSSOption(1460)}}
+	raw := tcp.Marshal(src, f.aP, seg)
+	f.callInbound(t, ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: f.aP}, raw)
+}
+
+func TestSecondaryBridgeChurnUnbounded(t *testing.T) {
+	f := newSecFixture(t)
+	for i := 0; i < propTrials; i++ {
+		snoopSYN(t, f, i)
+	}
+	if got := f.b.Flows(); got != propTrials {
+		t.Errorf("unbounded flow cache holds %d entries, want %d", got, propTrials)
+	}
+	if ev := f.b.Stats().FlowsEvicted; ev != 0 {
+		t.Errorf("unbounded cache evicted %d", ev)
+	}
+}
+
+func TestSecondaryBridgeChurnBounded(t *testing.T) {
+	const cap = 64
+	f := newSecFixture(t)
+	f.b.SetFlowLimit(cap)
+	// The legitimate client's flow, refreshed throughout the flood.
+	legit := &tcp.Segment{SrcPort: 49152, DstPort: 80, Seq: 100, Flags: tcp.FlagACK, Window: 65535}
+	legitRaw := tcp.Marshal(f.aC, f.aP, legit)
+	legitHdr := ipv4.Header{Protocol: ipv4.ProtoTCP, Src: f.aC, Dst: f.aP}
+	f.callInbound(t, legitHdr, append([]byte(nil), legitRaw...))
+	for i := 0; i < propTrials; i++ {
+		snoopSYN(t, f, i)
+		if i%16 == 0 {
+			f.callInbound(t, legitHdr, append([]byte(nil), legitRaw...))
+		}
+	}
+	if got := f.b.Flows(); got != cap {
+		t.Errorf("bounded flow cache holds %d entries, want %d", got, cap)
+	}
+	wantEv := int64(propTrials + 1 - cap)
+	if ev := f.b.Stats().FlowsEvicted; ev != wantEv {
+		t.Errorf("evictions = %d, want %d", ev, wantEv)
+	}
+	// The refreshed flow must still be resident: snooping it again must not
+	// evict anything further.
+	before := f.b.Stats().FlowsEvicted
+	verdict, _, _ := f.callInbound(t, legitHdr, append([]byte(nil), legitRaw...))
+	if verdict != netstack.VerdictDeliver {
+		t.Errorf("legitimate flow no longer snooped (verdict %v)", verdict)
+	}
+	if f.b.Stats().FlowsEvicted != before {
+		t.Errorf("refreshing the legitimate flow caused an eviction")
+	}
+}

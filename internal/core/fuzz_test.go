@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tcpfailover/internal/ipv4"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/tcp"
+)
+
+// FuzzSecondarySnoop throws attacker-crafted TCP bytes at the secondary
+// bridge's promiscuous snoop path and the primary bridge's demultiplexer —
+// the two raw-parsing surfaces an in-LAN attacker reaches without
+// completing any handshake. The harness asserts the malformed-frame guard:
+// nothing panics, and a frame whose data offset lies outside its own bytes
+// is dropped and counted rather than delivered.
+//
+// The input doubles as a script: when it is long enough to be a sane
+// segment it is replayed against an established bridge connection with the
+// fuzzer in control of seq/ack/flags/payload, covering truncated and
+// overlapping retransmissions in the byte-matching queues.
+func FuzzSecondarySnoop(f *testing.F) {
+	// A sane ACK, a truncated header, a data offset past the end, and an
+	// offset below the minimum.
+	f.Add(tcp.Marshal(ipv4.MustParseAddr("10.0.2.1"), ipv4.MustParseAddr("10.0.1.1"),
+		&tcp.Segment{SrcPort: 49152, DstPort: 80, Seq: 1, Flags: tcp.FlagACK, Window: 65535}))
+	f.Add([]byte{0xc0, 0x00, 0x00, 0x50, 0, 0, 0, 1})
+	long := make([]byte, 24)
+	long[12] = 0xf0 // data offset 60 > len
+	f.Add(long)
+	short := make([]byte, 24)
+	short[12] = 0x10 // data offset 4 < 5 words
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sec := newSecFixture(t)
+		hdr := ipv4.Header{Protocol: ipv4.ProtoTCP, Src: sec.aC, Dst: sec.aP}
+		buf := append([]byte(nil), data...)
+		verdict, _, _ := sec.b.inbound(0, hdr, buf)
+		if len(data) >= tcp.HeaderLen && !tcp.RawSane(data) {
+			if verdict != netstack.VerdictDrop {
+				t.Fatalf("insane frame not dropped (verdict %v)", verdict)
+			}
+			if sec.b.Stats().MalformedDrops == 0 {
+				t.Fatal("malformed drop not counted")
+			}
+		}
+
+		pri := newPriFixture(t)
+		hdrP := ipv4.Header{Protocol: ipv4.ProtoTCP, Src: pri.aC, Dst: pri.aP}
+		pri.b.inbound(0, hdrP, append([]byte(nil), data...))
+
+		// Structured replay: an established connection attacked with a
+		// fuzzer-chosen segment (overlaps, stale data, far-future data).
+		if len(data) < 10 {
+			return
+		}
+		pri2 := newPriFixtureCfg(t, PrimaryConfig{ValidateSeq: data[9]&1 == 1})
+		pri2.establish(t)
+		seq := tcp.Seq(clientISS + 1).Add(int(int32(binary.BigEndian.Uint32(data[:4]))))
+		ack := tcp.Seq(sISS + 1).Add(int(int32(binary.BigEndian.Uint32(data[4:8]))))
+		flags := tcp.Flags(data[8]) &^ tcp.FlagSYN
+		payload := data[10:]
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		raw := tcp.Marshal(pri2.aC, pri2.aP, &tcp.Segment{
+			SrcPort: 49152, DstPort: 80, Seq: seq, Ack: ack,
+			Flags: flags | tcp.FlagACK, Window: 65535, Payload: payload,
+		})
+		pri2.b.inbound(0, hdrP, raw)
+	})
+}

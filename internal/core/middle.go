@@ -151,7 +151,8 @@ func (b *MiddleBridge) PromoteToHead() error {
 	// client segments (addressed to it) hit the acknowledgment translation.
 	b.pb.SetLocalAddr(b.service)
 	stack := b.host.TCP()
-	for _, t := range b.conns {
+	for _, k := range sortedKeys(b.conns) {
+		t := b.conns[k]
 		if _, ok := stack.Lookup(t); !ok {
 			continue
 		}

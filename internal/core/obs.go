@@ -23,6 +23,9 @@ type primaryMetrics struct {
 	releasedBytes    obs.Counter // payload bytes released toward the client
 	seqTranslations  obs.Counter // Δseq applications (seq or ack rewrites)
 	badChecksumDrops obs.Counter // diverted segments dropped by verifyDiverted
+	seqInvalidDrops  obs.Counter // segments dropped by in-window validation
+	flowEvictions    obs.Counter // tracked connections evicted by the LRU cap
+	malformedDrops   obs.Counter // frames with an inconsistent data offset
 }
 
 func newPrimaryMetrics(reg *obs.Registry, host string) primaryMetrics {
@@ -32,6 +35,9 @@ func newPrimaryMetrics(reg *obs.Registry, host string) primaryMetrics {
 		releasedBytes:    reg.Counter(series("bridge_bytes_released_total", host)),
 		seqTranslations:  reg.Counter(series("bridge_seq_translations_total", host)),
 		badChecksumDrops: reg.Counter(series("bridge_bad_checksum_drops_total", host)),
+		seqInvalidDrops:  reg.Counter(series("bridge_seq_invalid_drops_total", host)),
+		flowEvictions:    reg.Counter(series("bridge_flow_evictions_total", host)),
+		malformedDrops:   reg.Counter(series("bridge_malformed_drops_total", host)),
 	}
 }
 
@@ -45,14 +51,18 @@ func (b *PrimaryBridge) AttachObs(reg *obs.Registry, host string) {
 
 // secondaryMetrics are the secondary bridge's pre-resolved handles.
 type secondaryMetrics struct {
-	snoopedIn   obs.Counter
-	divertedOut obs.Counter
+	snoopedIn      obs.Counter
+	divertedOut    obs.Counter
+	flowEvictions  obs.Counter // flow-cache entries evicted by the LRU cap
+	malformedDrops obs.Counter // snooped frames with an inconsistent offset
 }
 
 func newSecondaryMetrics(reg *obs.Registry, host string) secondaryMetrics {
 	return secondaryMetrics{
-		snoopedIn:   reg.Counter(series("bridge_snooped_in_total", host)),
-		divertedOut: reg.Counter(series("bridge_diverted_out_total", host)),
+		snoopedIn:      reg.Counter(series("bridge_snooped_in_total", host)),
+		divertedOut:    reg.Counter(series("bridge_diverted_out_total", host)),
+		flowEvictions:  reg.Counter(series("bridge_flow_evictions_total", host)),
+		malformedDrops: reg.Counter(series("bridge_malformed_drops_total", host)),
 	}
 }
 

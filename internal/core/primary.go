@@ -24,6 +24,22 @@ type PrimaryConfig struct {
 	// deletion. Default 0 (delete immediately, as the paper describes; the
 	// bridge synthesizes ACKs for late FINs afterward).
 	GCLinger time.Duration
+	// ValidateSeq enables in-window sequence validation on the bridge's
+	// client-facing and diverted paths: a client RST tears bridge state
+	// down only when its sequence number sits within one window of the
+	// combined acknowledgment, client data is answered or forwarded only
+	// within one window of the same horizon, and a diverted RST from the
+	// secondary must land within one window of the release point. Off by
+	// default (the paper's bridge trusts the wire); the E11 adversary
+	// experiment measures the difference. Out-of-horizon segments are
+	// dropped and counted in bridge_seq_invalid_drops_total.
+	ValidateSeq bool
+	// MaxConns bounds the tracked-connection table. When the cap is
+	// exceeded the least-recently-touched connection is evicted (counted in
+	// bridge_flow_evictions_total), which keeps a SYN flood of spoofed
+	// clients from growing the table without limit. 0 means unbounded (the
+	// historical behavior, with zero bookkeeping cost).
+	MaxConns int
 }
 
 func (c PrimaryConfig) withDefaults() PrimaryConfig {
@@ -46,7 +62,17 @@ type PrimaryStats struct {
 	ConnsOpened              int64
 	ConnsClosed              int64
 	BadChecksumDrops         int64
+	ConnsEvicted             int64 // LRU evictions under the MaxConns cap
+	SeqInvalidDrops          int64 // segments rejected by in-window validation
+	MalformedDrops           int64 // frames with an inconsistent data offset
 }
+
+// seqHorizon is the validation window ValidateSeq applies around the
+// bridge's acknowledgment and release points: one maximum unscaled TCP
+// window. A blind off-path forger must land within it, which shrinks the
+// per-probe success probability from certainty (any RST tore state down)
+// to 2^16/2^32.
+const seqHorizon = 65536
 
 // pconn is the primary bridge's per-connection state: the two output
 // queues, the sequence-number offset, and the acknowledgment/window
@@ -85,6 +111,10 @@ type pconn struct {
 	// Termination bookkeeping (section 8).
 	clientFinSeen bool
 	clientFinEnd  tcp.Seq // sequence number just past the client's FIN
+
+	// Intrusive LRU links, maintained only under PrimaryConfig.MaxConns —
+	// no allocation and no cost on the unbounded default path.
+	lruPrev, lruNext *pconn
 }
 
 func (c *pconn) effMSS(def uint16) int {
@@ -108,6 +138,10 @@ type PrimaryBridge struct {
 
 	conns    map[TupleKey]*pconn
 	degraded bool // after secondary failure (section 6)
+
+	// LRU list over conns, most-recently-touched first; only maintained
+	// when cfg.MaxConns > 0.
+	lruHead, lruTail *pconn
 
 	// emit transports a finished client-bound segment, taking ownership of
 	// the packet buffer. The default sends it directly; a daisy-chained
@@ -190,6 +224,8 @@ func (b *PrimaryBridge) SetMatchingPeer(a ipv4.Addr) { b.aS = a }
 func (b *PrimaryBridge) Stats() PrimaryStats {
 	s := b.stats
 	s.BadChecksumDrops = b.m.badChecksumDrops.Value()
+	s.SeqInvalidDrops = b.m.seqInvalidDrops.Value()
+	s.MalformedDrops = b.m.malformedDrops.Value()
 	return s
 }
 
@@ -206,8 +242,54 @@ func (b *PrimaryBridge) conn(key TupleKey) *pconn {
 		c = &pconn{key: key}
 		b.conns[key] = c
 		b.stats.ConnsOpened++
+		if b.cfg.MaxConns > 0 {
+			b.lruPush(c)
+			for len(b.conns) > b.cfg.MaxConns && b.lruTail != nil && b.lruTail != c {
+				victim := b.lruTail
+				b.removeConn(victim)
+				b.stats.ConnsEvicted++
+				b.m.flowEvictions.Inc()
+			}
+		}
 	}
 	return c
+}
+
+// --- LRU list, maintained only when cfg.MaxConns > 0 -------------------------
+
+func (b *PrimaryBridge) lruPush(c *pconn) {
+	c.lruPrev, c.lruNext = nil, b.lruHead
+	if b.lruHead != nil {
+		b.lruHead.lruPrev = c
+	}
+	b.lruHead = c
+	if b.lruTail == nil {
+		b.lruTail = c
+	}
+}
+
+func (b *PrimaryBridge) lruUnlink(c *pconn) {
+	if c.lruPrev != nil {
+		c.lruPrev.lruNext = c.lruNext
+	} else if b.lruHead == c {
+		b.lruHead = c.lruNext
+	}
+	if c.lruNext != nil {
+		c.lruNext.lruPrev = c.lruPrev
+	} else if b.lruTail == c {
+		b.lruTail = c.lruPrev
+	}
+	c.lruPrev, c.lruNext = nil, nil
+}
+
+// lruTouch moves c to the front: legitimate traffic keeps its connection
+// fresh, so a SYN flood's idle embryos are the ones the cap evicts.
+func (b *PrimaryBridge) lruTouch(c *pconn) {
+	if b.cfg.MaxConns == 0 || b.lruHead == c {
+		return
+	}
+	b.lruUnlink(c)
+	b.lruPush(c)
 }
 
 // --- outbound: segments from the primary's own TCP layer --------------------
@@ -223,6 +305,9 @@ func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	}
 	b.stats.SegmentsFromPrimary++
 	flags := tcp.RawFlags(segment)
+	if exists {
+		b.lruTouch(c)
+	}
 	if !exists {
 		// Only a SYN may create bridge state (a server-initiated
 		// connection, section 7.2). Anything else for an unknown
@@ -312,6 +397,13 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 	if len(payload) < tcp.HeaderLen {
 		return netstack.VerdictPass, hdr, payload
 	}
+	if !tcp.RawSane(payload) {
+		// A forged data offset would send the raw option/payload slicing
+		// below out of range. Endpoints are protected by UnmarshalInto's
+		// validation; the bridge works on the raw frame, so it drops here.
+		b.m.malformedDrops.Inc()
+		return netstack.VerdictDrop, hdr, payload
+	}
 	if hdr.Dst != b.aP {
 		// Segments diverted to another address this host owns (a chain
 		// promotion in flight) still belong to the demultiplexer; anything
@@ -369,6 +461,7 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		return netstack.VerdictPass, hdr, payload
 	}
 
+	b.lruTouch(c)
 	if flags.Has(tcp.FlagACK) && c.deltaKnown {
 		ackS := tcp.RawAck(payload)
 		if c.finSent && ackS.Greater(c.finSeq) {
@@ -385,12 +478,27 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 		c.clientFinEnd = tcp.RawSeq(payload).Add(len(tcp.RawPayload(payload)) + 1)
 	}
 	if flags.Has(tcp.FlagRST) {
+		if b.cfg.ValidateSeq && c.combinedSynSent && (c.ackPSet || c.ackSSet) &&
+			!tcp.RawSeq(payload).InWindow(c.minAck(b.degraded), seqHorizon) {
+			// A blind off-path RST: outside the horizon around the combined
+			// acknowledgment it cannot be the client's, and letting it
+			// through would tear down bridge state the replicas still hold.
+			b.m.seqInvalidDrops.Inc()
+			return netstack.VerdictDrop, hdr, payload
+		}
 		// Both replicas' TCP layers observe the reset; nothing remains for
 		// the bridge to reconcile.
 		b.removeConn(c)
 		return netstack.VerdictPass, hdr, payload
 	}
 	if n := len(tcp.RawPayload(payload)); n > 0 && c.combinedSynSent && c.lastAckValid {
+		if b.cfg.ValidateSeq &&
+			!tcp.RawSeq(payload).Add(n).InWindow(c.minAck(b.degraded).Add(-seqHorizon), 3*seqHorizon) {
+			// Stale or far-future data: answering it would hand a blind
+			// forger an acknowledgment reflector, so it is dropped instead.
+			b.m.seqInvalidDrops.Inc()
+			return netstack.VerdictDrop, hdr, payload
+		}
 		if tcp.RawSeq(payload).Add(n).Leq(c.minAck(b.degraded)) {
 			// The client retransmits data both replicas have already
 			// acknowledged — it missed the acknowledgment. The replicas'
@@ -471,6 +579,9 @@ func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
 			return
 		}
 	}
+	if exists {
+		b.lruTouch(c)
+	}
 
 	switch {
 	case flags.Has(tcp.FlagSYN):
@@ -496,6 +607,14 @@ func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
 		b.maybeSendCombinedSyn(c)
 
 	case flags.Has(tcp.FlagRST):
+		if b.cfg.ValidateSeq && c.deltaKnown &&
+			!tcp.RawSeq(segment).InWindow(c.sndMax.Add(-seqHorizon), 2*seqHorizon) {
+			// A diverted RST is forged unless it lands near the release
+			// point: the secondary resets in its own sequence space, which
+			// the bridge tracks as sndMax.
+			b.m.seqInvalidDrops.Inc()
+			return
+		}
 		b.forwardRST(c, segment, false)
 
 	default:
@@ -818,7 +937,10 @@ func (b *PrimaryBridge) qAdvance(c *pconn, n int) {
 }
 
 func (b *PrimaryBridge) removeConn(c *pconn) {
-	if _, ok := b.conns[c.key]; ok {
+	if cur, ok := b.conns[c.key]; ok && cur == c {
+		if b.cfg.MaxConns > 0 {
+			b.lruUnlink(c)
+		}
 		delete(b.conns, c.key)
 		b.stats.ConnsClosed++
 		if c.pq != nil {
@@ -840,7 +962,8 @@ func (b *PrimaryBridge) HandleSecondaryFailure() {
 		return
 	}
 	b.degraded = true
-	for _, c := range b.conns {
+	for _, k := range sortedKeys(b.conns) {
+		c := b.conns[k]
 		if !c.deltaKnown {
 			if c.pInitSet && !c.sInitSet {
 				b.adoptPrimaryAsSecondary(c)

@@ -33,6 +33,11 @@ type capturedSeg struct {
 
 func newPriFixture(t *testing.T) *priFixture {
 	t.Helper()
+	return newPriFixtureCfg(t, PrimaryConfig{})
+}
+
+func newPriFixtureCfg(t *testing.T, cfg PrimaryConfig) *priFixture {
+	t.Helper()
 	f := &priFixture{
 		sched: sim.New(1),
 		aP:    ipv4.MustParseAddr("10.0.1.1"),
@@ -45,7 +50,7 @@ func newPriFixture(t *testing.T) *priFixture {
 	f.host.AttachIface(seg, ethernet.MAC{2, 0, 0, 0, 0, 1}, f.aP, prefix)
 	sel := NewSelector()
 	sel.EnableServerPort(80)
-	f.b = NewPrimaryBridge(f.host, f.aP, f.aS, sel, PrimaryConfig{})
+	f.b = NewPrimaryBridge(f.host, f.aP, f.aS, sel, cfg)
 	// Capture emissions without touching the wire.
 	f.b.SetEmitFunc(func(client ipv4.Addr, pkt *netbuf.Buffer) {
 		raw := append([]byte(nil), pkt.Bytes()...)

@@ -13,10 +13,12 @@ const origDstOptionLen = 8
 
 // SecondaryStats counts the secondary bridge's work.
 type SecondaryStats struct {
-	SnoopedIn     int64 // client segments captured promiscuously and translated
-	DivertedOut   int64 // locally generated segments diverted to the primary
-	DroppedDuring int64 // segments dropped while takeover was reconfiguring
-	TakenOver     int64 // connections re-keyed to the primary address
+	SnoopedIn      int64 // client segments captured promiscuously and translated
+	DivertedOut    int64 // locally generated segments diverted to the primary
+	DroppedDuring  int64 // segments dropped while takeover was reconfiguring
+	TakenOver      int64 // connections re-keyed to the primary address
+	FlowsEvicted   int64 // flow-cache entries evicted by the SetFlowLimit cap
+	MalformedDrops int64 // snooped frames with an inconsistent data offset
 }
 
 // SecondaryBridge is the bridge sublayer on the secondary server S.
@@ -49,6 +51,13 @@ type SecondaryBridge struct {
 	// instead of up to three selector probes plus a conns write. Entries
 	// self-invalidate when the selector configuration changes.
 	flows map[TupleKey]*sflow
+	// maxFlows bounds the flow cache (and the takeover conns table it
+	// feeds): when exceeded, the least-recently-touched flow is evicted. 0
+	// means unbounded — the historical behavior. The packed-uint64 keys make
+	// each entry cheap, but a SYN flood of spoofed clients would still grow
+	// the maps without limit.
+	maxFlows         int
+	lruHead, lruTail *sflow
 
 	stats SecondaryStats
 	m     secondaryMetrics
@@ -64,6 +73,11 @@ type sflow struct {
 	gen   uint64 // selector generation the verdict was computed under
 	match bool
 	opt   [8]byte // orig-dst option block carrying the client address
+
+	// Intrusive LRU links plus the owning key, maintained only under a
+	// SetFlowLimit cap — no cost on the unbounded default path.
+	key              TupleKey
+	lruPrev, lruNext *sflow
 }
 
 // flow returns the cached decision for key, classifying the flow on first
@@ -73,11 +87,22 @@ type sflow struct {
 func (b *SecondaryBridge) flow(key TupleKey) *sflow {
 	f := b.flows[key]
 	if f != nil && f.gen == b.sel.Gen() {
+		if b.maxFlows > 0 {
+			b.lruTouch(f)
+		}
 		return f
 	}
 	if f == nil {
-		f = &sflow{}
+		f = &sflow{key: key}
 		b.flows[key] = f
+		if b.maxFlows > 0 {
+			b.lruPush(f)
+			for len(b.flows) > b.maxFlows && b.lruTail != nil && b.lruTail != f {
+				b.evict(b.lruTail)
+			}
+		}
+	} else if b.maxFlows > 0 {
+		b.lruTouch(f)
 	}
 	f.gen = b.sel.Gen()
 	f.match = b.sel.Match(key)
@@ -92,6 +117,63 @@ func (b *SecondaryBridge) flow(key TupleKey) *sflow {
 	}
 	return f
 }
+
+// --- LRU list, maintained only when maxFlows > 0 -----------------------------
+
+func (b *SecondaryBridge) lruPush(f *sflow) {
+	f.lruPrev, f.lruNext = nil, b.lruHead
+	if b.lruHead != nil {
+		b.lruHead.lruPrev = f
+	}
+	b.lruHead = f
+	if b.lruTail == nil {
+		b.lruTail = f
+	}
+}
+
+func (b *SecondaryBridge) lruUnlink(f *sflow) {
+	if f.lruPrev != nil {
+		f.lruPrev.lruNext = f.lruNext
+	} else if b.lruHead == f {
+		b.lruHead = f.lruNext
+	}
+	if f.lruNext != nil {
+		f.lruNext.lruPrev = f.lruPrev
+	} else if b.lruTail == f {
+		b.lruTail = f.lruPrev
+	}
+	f.lruPrev, f.lruNext = nil, nil
+}
+
+func (b *SecondaryBridge) lruTouch(f *sflow) {
+	if b.lruHead == f {
+		return
+	}
+	b.lruUnlink(f)
+	b.lruPush(f)
+}
+
+// evict drops a flow-cache entry and the takeover record it fed. Active
+// connections stay LRU-fresh (every snooped or diverted segment touches the
+// entry), so what the cap sheds under a SYN flood is the flood's own
+// single-segment flows.
+func (b *SecondaryBridge) evict(f *sflow) {
+	b.lruUnlink(f)
+	delete(b.flows, f.key)
+	delete(b.conns, f.key)
+	b.stats.FlowsEvicted++
+	b.m.flowEvictions.Inc()
+}
+
+// SetFlowLimit bounds the flow cache to n entries, evicting the least
+// recently touched beyond the cap. 0 (the default) means unbounded. Set at
+// build time, before traffic is snooped: entries cached while unbounded are
+// only indexed lazily as they are next touched (walking the map here would
+// impose a nondeterministic eviction order).
+func (b *SecondaryBridge) SetFlowLimit(n int) { b.maxFlows = n }
+
+// Flows returns the number of cached flow entries.
+func (b *SecondaryBridge) Flows() int { return len(b.flows) }
 
 // NewSecondaryBridge installs the bridge on host's interface ifIndex. The
 // NIC is placed in promiscuous receive mode.
@@ -125,6 +207,14 @@ func (b *SecondaryBridge) Active() bool { return b.active }
 func (b *SecondaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
 	if !b.active || hdr.Dst != b.aP || len(payload) < tcp.HeaderLen {
 		return netstack.VerdictPass, hdr, payload
+	}
+	if !tcp.RawSane(payload) {
+		// A forged data offset on the snoop path would corrupt the MSS
+		// clamp's option walk; drop rather than deliver a frame the local
+		// TCP layer would reject anyway.
+		b.m.malformedDrops.Inc()
+		b.stats.MalformedDrops++
+		return netstack.VerdictDrop, hdr, payload
 	}
 	key := MakeTupleKey(hdr.Src, tcp.RawSrcPort(payload), tcp.RawDstPort(payload))
 	if !b.flow(key).match {
@@ -202,7 +292,8 @@ func (b *SecondaryBridge) Takeover() error {
 	// Step 5.
 	b.host.AddAddress(b.ifIndex, b.aP)
 	stack := b.host.TCP()
-	for _, t := range b.conns {
+	for _, k := range sortedKeys(b.conns) {
+		t := b.conns[k]
 		if _, ok := stack.Lookup(t); !ok {
 			continue // connection already closed
 		}

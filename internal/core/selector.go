@@ -18,7 +18,12 @@
 // bridge reconfigures per sections 5 and 6 of the paper.
 package core
 
-import "tcpfailover/internal/ipv4"
+import (
+	"maps"
+	"slices"
+
+	"tcpfailover/internal/ipv4"
+)
 
 // TupleKey identifies a replicated connection from the bridge's viewpoint:
 // the unreplicated peer endpoint (the client, or the back-end server T for
@@ -33,6 +38,15 @@ type TupleKey uint64
 // TupleKey.
 func MakeTupleKey(peer ipv4.Addr, peerPort, localPort uint16) TupleKey {
 	return TupleKey(uint64(peer)<<32 | uint64(peerPort)<<16 | uint64(localPort))
+}
+
+// sortedKeys returns m's keys in ascending order. The failover
+// reconfiguration paths walk whole connection tables; iterating the map
+// directly would let Go's randomized map order decide the per-connection
+// send order, breaking run-to-run determinism the moment a table holds
+// more than one entry (the adversarial SYN-flood scenarios hold hundreds).
+func sortedKeys[V any](m map[TupleKey]V) []TupleKey {
+	return slices.Sorted(maps.Keys(m))
 }
 
 // PeerAddr returns the unreplicated peer's address.

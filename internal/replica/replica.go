@@ -27,6 +27,9 @@ type Config struct {
 	Detect detect.Config
 	// Bridge tunes the primary bridge.
 	Bridge core.PrimaryConfig
+	// SecondaryMaxFlows bounds the secondary bridge's flow cache (LRU
+	// eviction beyond the cap); 0 means unbounded.
+	SecondaryMaxFlows int
 	// IfIndexPrimary / IfIndexSecondary are the server-LAN interfaces.
 	IfIndexPrimary   int
 	IfIndexSecondary int
@@ -100,6 +103,7 @@ func NewGroup(primary, secondary *netstack.Host, cfg Config) (*Group, error) {
 	}
 	g.pb = core.NewPrimaryBridge(primary, aP, aS, sel, cfg.Bridge)
 	g.sb = core.NewSecondaryBridge(secondary, cfg.IfIndexSecondary, aP, aS, sel)
+	g.sb.SetFlowLimit(cfg.SecondaryMaxFlows)
 	g.detectOnPrimary = detect.New(primary, aP, aS, cfg.Detect, func() {
 		g.pb.HandleSecondaryFailure()
 		if g.OnFailover != nil {

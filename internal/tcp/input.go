@@ -14,11 +14,14 @@ func (c *Conn) input(seg *Segment) {
 	}
 
 	acceptable := c.segAcceptable(seg)
-	if !acceptable && seg.Flags.Has(FlagRST) {
-		return // out-of-window RSTs are ignored (blind-reset protection)
-	}
-
 	if seg.Flags.Has(FlagRST) {
+		if c.stack.cfg.StrictSeqValidation {
+			if !c.strictSeqOK(seg.Seq) {
+				return // blind RST outside the window (RFC 5961 spirit)
+			}
+		} else if !acceptable {
+			return // out-of-window RSTs are ignored (blind-reset protection)
+		}
 		switch c.state {
 		case StateSynReceived:
 			// Passive open returns to LISTEN: just drop the embryo.
@@ -32,6 +35,12 @@ func (c *Conn) input(seg *Segment) {
 	}
 
 	if seg.Flags.Has(FlagSYN) && seg.Seq.Geq(c.rcvNxt) {
+		if c.stack.cfg.StrictSeqValidation && !c.strictSeqOK(seg.Seq) {
+			// A SYN anywhere in the upper half-space would reset the
+			// connection under the legacy test; strict mode only honors a
+			// SYN that actually lands in the window.
+			return
+		}
 		// SYN in the window is an error; reset.
 		rst := &Segment{Flags: FlagRST | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
 		c.emit(rst)
@@ -150,6 +159,14 @@ func (c *Conn) inputSynSent(seg *Segment) {
 // acknowledgments that must not be discarded; a strict-RFC receiver pair
 // can otherwise ACK-war or gridlock forever. Segments beginning beyond
 // rcvNxt are accepted only if they overlap the receive window.
+// strictSeqOK is the tightened acceptability test StrictSeqValidation
+// applies to RST and SYN segments: exactly rcvNxt (the common case for a
+// legitimate peer, and the only acceptable value against a closed window)
+// or inside the receive window.
+func (c *Conn) strictSeqOK(seq Seq) bool {
+	return seq == c.rcvNxt || seq.InWindow(c.rcvNxt, c.rcvBuf.Free())
+}
+
 func (c *Conn) segAcceptable(seg *Segment) bool {
 	if seg.Seq.Leq(c.rcvNxt) {
 		return true

@@ -40,6 +40,22 @@ func RawChecksum(b []byte) uint16 { return getU16(b[16:]) }
 // RawHeaderLen returns the header length (including options) in bytes.
 func RawHeaderLen(b []byte) int { return int(b[12]>>4) * 4 }
 
+// RawSane reports whether a marshaled segment's data offset is consistent
+// with its length: at least HeaderLen and not beyond the segment. The
+// bridges call it before any other Raw accessor on bytes taken off the
+// wire — the raw readers index by the offset nibble, so an attacker-forged
+// offset (below 5, or pointing past a truncated segment) would otherwise
+// read out of bounds. UnmarshalInto performs the equivalent check for the
+// endpoint stacks; the bridges sit below them and must not trust the frame
+// either.
+func RawSane(b []byte) bool {
+	if len(b) < HeaderLen {
+		return false
+	}
+	hl := RawHeaderLen(b)
+	return hl >= HeaderLen && hl <= len(b)
+}
+
 // RawPayload returns the payload of a marshaled segment (aliases b).
 func RawPayload(b []byte) []byte { return b[RawHeaderLen(b):] }
 
@@ -113,6 +129,9 @@ func patchBytes(b []byte, off int, newBytes []byte) {
 // full-MSS segments would exceed the link MTU. It reports whether an MSS
 // option was found.
 func ClampRawMSS(b []byte, reduce uint16) bool {
+	if !RawSane(b) {
+		return false
+	}
 	hdrLen := RawHeaderLen(b)
 	opts := b[HeaderLen:hdrLen]
 	i := 0
@@ -299,6 +318,9 @@ func StripOrigDstOptionInPlace(b []byte) ([]byte, ipv4.Addr, bool) {
 // InsertOrigDstOption, returning the absolute [start, end) byte range
 // (including alignment pads, at most 8 bytes) and the option value.
 func findOrigDstOption(b []byte) (absStart, absEnd int, addr ipv4.Addr, ok bool) {
+	if !RawSane(b) {
+		return 0, 0, 0, false
+	}
 	hdrLen := RawHeaderLen(b)
 	opts := b[HeaderLen:hdrLen]
 	i := 0

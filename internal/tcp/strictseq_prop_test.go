@@ -1,0 +1,112 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tcpfailover/internal/fault"
+)
+
+// Property tests for Config.StrictSeqValidation, the endpoint half of the
+// blind-RST hardening (RFC 5961 §3.2 shape): 1000 seeded trials per
+// configuration, drawing forged sequence numbers from the same stream, so
+// the off/on pair isolates the defense. Off, a blind RST is accepted
+// anywhere in the receive half-space (~1/2 of the sequence space); on, it
+// must hit the exact rcvNxt or land inside the receive window.
+func TestPropEndpointBlindRST(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		strict bool
+	}{
+		{"off-attack-succeeds", false},
+		{"on-attack-defeated", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := fault.NewRand(0x5eed).Split("endpoint-rst")
+			killed := 0
+			for i := 0; i < propRSTTrials; i++ {
+				p := newPair(t, Config{StrictSeqValidation: tc.strict})
+				client, server := p.connect(t, 80)
+				died := false
+				server.OnClose(func(err error) {
+					if err != nil {
+						died = true
+					}
+				})
+				// Forge a client->server RST with a random sequence number,
+				// spoofing the established connection's exact 4-tuple.
+				tup := client.Tuple()
+				raw := Marshal(p.aAddr, p.bAddr, &Segment{
+					SrcPort: tup.LocalPort,
+					DstPort: tup.RemotePort,
+					Seq:     Seq(rng.Uint64()),
+					Ack:     Seq(rng.Uint64()),
+					Flags:   FlagRST | FlagACK,
+				})
+				p.b.Input(p.aAddr, p.bAddr, raw)
+				_ = p.sched.RunFor(50 * time.Millisecond)
+				if died || server.State() == StateClosed {
+					killed++
+				}
+			}
+			if !tc.strict {
+				// Binomial(1000, ~1/2): the half-space acceptance must show.
+				if killed < 400 || killed > 600 {
+					t.Errorf("lenient endpoint: %d/%d blind RSTs killed the connection, want ~500", killed, propRSTTrials)
+				}
+			} else if killed > 3 {
+				t.Errorf("strict endpoint: %d/%d blind RSTs killed the connection", killed, propRSTTrials)
+			}
+		})
+	}
+}
+
+// TestPropEndpointBlindSYN covers the companion rule: an in-flight forged
+// SYN must not reset an established connection when strict validation is
+// on (off, a SYN in the acceptable range tears the connection down).
+func TestPropEndpointBlindSYN(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		strict bool
+	}{
+		{"off-attack-succeeds", false},
+		{"on-attack-defeated", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := fault.NewRand(0x5eed).Split("endpoint-syn")
+			killed := 0
+			for i := 0; i < propRSTTrials; i++ {
+				p := newPair(t, Config{StrictSeqValidation: tc.strict})
+				client, server := p.connect(t, 80)
+				died := false
+				server.OnClose(func(err error) {
+					if err != nil {
+						died = true
+					}
+				})
+				tup := client.Tuple()
+				raw := Marshal(p.aAddr, p.bAddr, &Segment{
+					SrcPort: tup.LocalPort,
+					DstPort: tup.RemotePort,
+					Seq:     Seq(rng.Uint64()),
+					Flags:   FlagSYN,
+					Window:  65535,
+				})
+				p.b.Input(p.aAddr, p.bAddr, raw)
+				_ = p.sched.RunFor(50 * time.Millisecond)
+				if died || server.State() == StateClosed {
+					killed++
+				}
+			}
+			if !tc.strict {
+				if killed < 400 || killed > 600 {
+					t.Errorf("lenient endpoint: %d/%d blind SYNs killed the connection, want ~500", killed, propRSTTrials)
+				}
+			} else if killed > 3 {
+				t.Errorf("strict endpoint: %d/%d blind SYNs killed the connection", killed, propRSTTrials)
+			}
+		})
+	}
+}
+
+const propRSTTrials = 1000

@@ -126,6 +126,13 @@ type Options struct {
 	// ColdARP leaves ARP caches empty; by default they are pre-warmed, as
 	// in the paper's measurements.
 	ColdARP bool
+	// ARPAuth installs binding filters on every station's ARP modules,
+	// pinning each scenario address to the MAC (or, for the service
+	// address, the replica-group MACs) the cell plan assigns it. The
+	// legitimate takeover announce still rebinds the service address; a
+	// rogue station's forged gratuitous ARP is rejected and counted. Off by
+	// default — classic unauthenticated ARP, as the paper's testbed ran.
+	ARPAuth bool
 	// StartDetectors starts heartbeat fault detectors (default true for
 	// replicated scenarios). Disable for microbenchmarks that want a quiet
 	// event queue.
@@ -273,6 +280,9 @@ func newScenarioOn(sched *sim.Scheduler, opts Options) (*Scenario, error) {
 	if !opts.ColdARP {
 		sc.warmARP()
 	}
+	if opts.ARPAuth {
+		sc.installARPAuth()
+	}
 
 	serverStations := map[fault.Role]*ethernet.NIC{
 		fault.RoleRouter:  sc.Router.Iface(0).NIC(),
@@ -394,6 +404,42 @@ func (sc *Scenario) warmARP() {
 		sc.Tertiary.Iface(0).ARP().Seed(p.secondary, p.macS)
 		sc.Primary.Iface(0).ARP().Seed(p.tertiary, p.macT)
 		sc.Secondary.Iface(0).ARP().Seed(p.tertiary, p.macT)
+	}
+}
+
+// installARPAuth pins every planned address to its station's MAC on all ARP
+// modules of the cell. The service address is authorized for the whole
+// replica group, so the paper's takeover announce (the secondary claiming
+// aP) still succeeds while a rogue station's forged gratuitous ARP is
+// rejected. Addresses outside the plan stay unrestricted.
+func (sc *Scenario) installARPAuth() {
+	p := sc.plan
+	serviceMACs := []ethernet.MAC{p.macP}
+	if sc.Secondary != nil {
+		serviceMACs = append(serviceMACs, p.macS)
+	}
+	if sc.Tertiary != nil {
+		serviceMACs = append(serviceMACs, p.macT)
+	}
+	serverAuth := arp.AuthorizedBindings(map[ipv4.Addr][]ethernet.MAC{
+		p.primary:   serviceMACs,
+		p.secondary: {p.macS},
+		p.tertiary:  {p.macT},
+		p.routerLAN: {p.macR1},
+	})
+	clientAuth := arp.AuthorizedBindings(map[ipv4.Addr][]ethernet.MAC{
+		p.client:    {p.macC},
+		p.routerWAN: {p.macR2},
+	})
+	sc.Router.Iface(0).ARP().SetBindingFilter(serverAuth)
+	sc.Router.Iface(1).ARP().SetBindingFilter(clientAuth)
+	sc.Client.Iface(0).ARP().SetBindingFilter(clientAuth)
+	sc.Primary.Iface(0).ARP().SetBindingFilter(serverAuth)
+	if sc.Secondary != nil {
+		sc.Secondary.Iface(0).ARP().SetBindingFilter(serverAuth)
+	}
+	if sc.Tertiary != nil {
+		sc.Tertiary.Iface(0).ARP().SetBindingFilter(serverAuth)
 	}
 }
 
