@@ -9,6 +9,7 @@ package tcpfailover_test
 
 import (
 	"testing"
+	"time"
 
 	"tcpfailover/internal/bench"
 )
@@ -135,5 +136,21 @@ func BenchmarkFailoverLatency(b *testing.B) {
 			b.Fatal("stream damaged across failover")
 		}
 		b.ReportMetric(float64(r.StallMedian.Milliseconds()), "virt-stall-ms")
+	}
+}
+
+// E12 — extension: open-loop SLO (one failover crash cell at moderate load).
+func BenchmarkSLOFailoverCrash(b *testing.B) {
+	for b.Loop() {
+		pts, err := bench.SLO("web", []float64{60}, 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Mode == bench.Failover && p.Crash {
+				b.ReportMetric(float64(p.P99.Microseconds()), "virt-p99-us")
+				b.ReportMetric(p.GoodputKBps, "virt-goodput-KB/s")
+			}
+		}
 	}
 }

@@ -11,10 +11,11 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline|adversary]
-//	               [-conns N] [-reps N] [-stream BYTES] [-runs N]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline|adversary|slo]
+//	               [-list] [-conns N] [-reps N] [-stream BYTES] [-runs N]
 //	               [-faultrates R1,R2,...] [-connscale N1,N2,...]
-//	               [-shardscale N1,N2,...] [-shards S1,S2,...] [-json]
+//	               [-shardscale N1,N2,...] [-shards S1,S2,...]
+//	               [-sloloads L1,L2,...] [-slowindow D] [-sloworkload NAME] [-json]
 //	               [-metrics-out FILE] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -metrics-out, one instrumented failover scenario is run after the
@@ -43,7 +44,8 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline, adversary")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline, adversary, slo")
+		list       = flag.Bool("list", false, "list the experiment names and exit")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
 		stream     = flag.Int64("stream", 100*1024*1024, "stream length for figure 5 (bytes)")
@@ -56,6 +58,12 @@ func main() {
 			"comma-separated connection counts for the sharded scaling sweep (default 100000,1000000)")
 		shards = flag.String("shards", "",
 			"comma-separated shard counts for the sharded scaling sweep (default 1,2,4,8)")
+		sloLoads = flag.String("sloloads", "",
+			"comma-separated offered loads for the SLO experiment, sessions/second (default 40,160,320)")
+		sloWindow = flag.Duration("slowindow", 0,
+			"measurement window of virtual time per SLO cell (default 8s)")
+		sloWorkload = flag.String("sloworkload", "",
+			"workload-zoo entry for the SLO experiment: web, flash, diurnal (default web)")
 		jsonOut    = flag.Bool("json", false, "also write "+trajectoryFile)
 		metricsOut = flag.String("metrics-out", "",
 			"write a metrics snapshot from one failover scenario to this file (.json or Prometheus text)")
@@ -65,6 +73,12 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+	if *list {
+		for _, name := range bench.ExperimentNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 	bench.Workers = *workers
 	rates, err := parseRates(*faultRates)
 	if err != nil {
@@ -86,6 +100,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
+	loads, err := parseLoads(*sloLoads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Experiments: []string{*experiment},
 		Conns:       *conns,
@@ -96,6 +115,9 @@ func main() {
 		ConnScale:   counts,
 		ShardScale:  shardConns,
 		ShardCounts: shardCounts,
+		SLOLoads:    loads,
+		SLOWindow:   *sloWindow,
+		SLOWorkload: *sloWorkload,
 	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
@@ -213,6 +235,9 @@ func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	}
 	if r.Adversary != nil {
 		adversaryOut(r.Adversary)
+	}
+	if r.SLO != nil {
+		sloOut(r.SLO)
 	}
 	if metricsOut != "" {
 		if err := writeMetrics(metricsOut); err != nil {
@@ -423,6 +448,48 @@ func adversaryOut(points []bench.AdversaryPoint) {
 		fmt.Printf("%10s %10s %9s %16s %9d %10d %6d %7d %7.2f %7d\n",
 			p.Attack, p.Topology, h, p.Outcome, p.Injected, p.Delivered,
 			p.SeqDrops, p.ARPFiltered, p.Amplification, p.Evictions)
+	}
+	fmt.Println()
+}
+
+// parseLoads parses the -sloloads flag; empty means the default axis.
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	loads := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sloloads entry %q (want a positive rate)", p)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}
+
+func sloOut(points []bench.SLOPoint) {
+	fmt.Println("=== E12 (extension): SLO under open-loop production traffic ===")
+	fmt.Println("(workload-zoo sessions arrive open-loop — they do not wait for the")
+	fmt.Println(" service — at the offered rate; goodput and client-visible request")
+	fmt.Println(" latency per cell; in crash cells the primary fail-stops at the")
+	fmt.Println(" middle of the measurement window)")
+	fmt.Printf("%13s %6s %6s %8s %8s %7s %7s %12s %10s %10s %10s\n",
+		"mode", "load/s", "crash", "requests", "complete", "failed", "refuse",
+		"goodput KB/s", "p50", "p99", "p99.9")
+	for i, p := range points {
+		if i > 0 && p.Mode != points[i-1].Mode {
+			fmt.Println()
+		}
+		crash := "-"
+		if p.Crash {
+			crash = "crash"
+		}
+		fmt.Printf("%13s %6g %6s %8d %8d %7d %7d %12.1f %10v %10v %10v\n",
+			p.Mode, p.Load, crash, p.Requests, p.Completed, p.Failed, p.DialErrors,
+			p.GoodputKBps, p.P50.Round(time.Microsecond),
+			p.P99.Round(time.Microsecond), p.P999.Round(time.Microsecond))
 	}
 	fmt.Println()
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -11,7 +12,7 @@ import (
 type Config struct {
 	// Experiments names the experiments to run: connscale, shardscale,
 	// connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep,
-	// failtimeline, adversary.
+	// failtimeline, adversary, slo.
 	// Empty or containing "all" runs everything. Execution order is always
 	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
@@ -34,6 +35,15 @@ type Config struct {
 	// ShardCounts overrides the shard-count axis of E10; nil means
 	// DefaultShardCounts.
 	ShardCounts []int `json:"shard_counts,omitempty"`
+	// SLOLoads overrides the offered-load axis of E12 (sessions/second);
+	// nil means DefaultSLOLoads.
+	SLOLoads []float64 `json:"slo_loads,omitempty"`
+	// SLOWindow overrides E12's per-cell measurement window of virtual
+	// time; zero means DefaultSLOWindow.
+	SLOWindow time.Duration `json:"slo_window_ns,omitempty"`
+	// SLOWorkload names the workload-zoo entry E12 drives; empty means
+	// DefaultSLOWorkload.
+	SLOWorkload string `json:"slo_workload,omitempty"`
 }
 
 // experimentOrder is the canonical execution order; results are emitted in
@@ -47,7 +57,13 @@ type Config struct {
 // shardscale follows immediately: it too measures the simulator's own
 // wall-clock cost and wants a heap that has not been churned by the
 // virtual-time experiments.
-var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary"}
+var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary", "slo"}
+
+// ExperimentNames lists the valid experiment names in canonical execution
+// order (plus the "all" pseudo-name accepted by Config.Experiments).
+func ExperimentNames() []string {
+	return append([]string(nil), experimentOrder...)
+}
 
 // enabled expands Config.Experiments into a membership set, rejecting
 // unknown names.
@@ -69,7 +85,8 @@ func (c Config) enabled() (map[string]bool, error) {
 			known = known || e == name
 		}
 		if !known {
-			return nil, fmt.Errorf("unknown experiment %q", name)
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, all)",
+				name, strings.Join(experimentOrder, ", "))
 		}
 		set[name] = true
 	}
@@ -94,6 +111,7 @@ type Results struct {
 	FaultSweep []FaultPoint      `json:"fault_sweep,omitempty"`
 	Timeline   *TimelineResult   `json:"timeline,omitempty"`
 	Adversary  []AdversaryPoint  `json:"adversary,omitempty"`
+	SLO        []SLOPoint        `json:"slo,omitempty"`
 	// ConnScale and ShardScale are the Results members with host-dependent
 	// fields (wall-clock and allocation counters); the determinism test
 	// compares the experiments above, which are functions of the seeds only.
@@ -313,6 +331,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 		if err := t.measure("adversary", func() error {
 			var err error
 			t.Results.Adversary, err = AdversaryMatrix()
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["slo"] {
+		if err := t.measure("slo", func() error {
+			var err error
+			t.Results.SLO, err = SLO(cfg.SLOWorkload, cfg.SLOLoads, cfg.SLOWindow)
 			return err
 		}); err != nil {
 			return nil, err

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"math"
+
+	"tcpfailover/internal/fault"
+)
+
+// Flow-size and count samplers. Production object-size distributions are
+// heavy-tailed: most responses are small, a thin tail of huge ones carries
+// much of the bytes. The zoo composes a lognormal body with a Pareto tail,
+// the standard two-piece model of web transfer sizes.
+
+// Sampler draws sizes (or counts) from a private fault.Rand stream.
+type Sampler interface {
+	Sample(r *fault.Rand) int64
+}
+
+// Fixed always returns its value.
+type Fixed int64
+
+// Sample returns the fixed value.
+func (f Fixed) Sample(*fault.Rand) int64 { return int64(f) }
+
+// Lognormal draws exp(Normal) sizes parameterized by the distribution's
+// median (= exp(mu)) and log-space sigma. The normal variate comes from a
+// Box–Muller transform that always consumes exactly two uniforms.
+type Lognormal struct {
+	Median int64
+	Sigma  float64
+}
+
+// Sample draws one size.
+func (l Lognormal) Sample(r *fault.Rand) int64 {
+	z := normFloat(r)
+	return int64(float64(l.Median) * math.Exp(l.Sigma*z))
+}
+
+// normFloat is a standard normal via Box–Muller (two uniforms per call, the
+// second consumed even though only the cosine branch is used, so the draw
+// count per sample is constant).
+func normFloat(r *fault.Rand) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(1-u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Pareto draws from a Pareto distribution with scale xm (the minimum) and
+// tail index Alpha: P(X > x) = (xm/x)^Alpha. Alpha <= 1 has infinite mean —
+// legitimate for modelling, but the zoo clamps such tails.
+type Pareto struct {
+	Scale int64
+	Alpha float64
+}
+
+// Sample draws one size by inversion.
+func (p Pareto) Sample(r *fault.Rand) int64 {
+	u := r.Float64()
+	return int64(float64(p.Scale) * math.Pow(1-u, -1/p.Alpha))
+}
+
+// Mix draws from Tail with probability TailProb, otherwise from Body — the
+// two-piece body+tail model.
+type Mix struct {
+	Body     Sampler
+	Tail     Sampler
+	TailProb float64
+}
+
+// Sample draws one size.
+func (m Mix) Sample(r *fault.Rand) int64 {
+	if r.Float64() < m.TailProb {
+		return m.Tail.Sample(r)
+	}
+	return m.Body.Sample(r)
+}
+
+// Clamp bounds an underlying sampler to [Min, Max], keeping heavy tails
+// from exceeding what a finite-bandwidth run can carry.
+type Clamp struct {
+	S        Sampler
+	Min, Max int64
+}
+
+// Sample draws one bounded size.
+func (c Clamp) Sample(r *fault.Rand) int64 {
+	v := c.S.Sample(r)
+	if v < c.Min {
+		return c.Min
+	}
+	if v > c.Max {
+		return c.Max
+	}
+	return v
+}
+
+// Geometric draws counts from {1, 2, ...} with the given mean — the
+// requests-per-keep-alive-connection distribution (each request is the
+// "success" trial that may end the session).
+type Geometric struct {
+	Mean float64
+}
+
+// Sample draws one count.
+func (g Geometric) Sample(r *fault.Rand) int64 {
+	if g.Mean <= 1 {
+		return 1
+	}
+	p := 1 / g.Mean
+	u := r.Float64()
+	k := 1 + int64(math.Log(1-u)/math.Log(1-p))
+	if k < 1 {
+		return 1
+	}
+	return k
+}
