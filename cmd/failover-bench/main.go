@@ -11,10 +11,11 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|failtimeline|adversary|slo]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|memscale|failtimeline|adversary|slo]
 //	               [-list] [-conns N] [-reps N] [-stream BYTES] [-runs N]
 //	               [-faultrates R1,R2,...] [-connscale N1,N2,...]
 //	               [-shardscale N1,N2,...] [-shards S1,S2,...]
+//	               [-memscale N1,N2,...]
 //	               [-sloloads L1,L2,...] [-slowindow D] [-sloworkload NAME] [-json]
 //	               [-metrics-out FILE] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
@@ -44,7 +45,7 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, failtimeline, adversary, slo")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, memscale, failtimeline, adversary, slo")
 		list       = flag.Bool("list", false, "list the experiment names and exit")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
@@ -58,6 +59,8 @@ func main() {
 			"comma-separated connection counts for the sharded scaling sweep (default 100000,1000000)")
 		shards = flag.String("shards", "",
 			"comma-separated shard counts for the sharded scaling sweep (default 1,2,4,8)")
+		memScale = flag.String("memscale", "",
+			"comma-separated connection counts for the memory-scale sweep (default 100000,500000,1000000)")
 		sloLoads = flag.String("sloloads", "",
 			"comma-separated offered loads for the SLO experiment, sessions/second (default 40,160,320)")
 		sloWindow = flag.Duration("slowindow", 0,
@@ -100,6 +103,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
+	memCounts, err := parseCounts(*memScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
 	loads, err := parseLoads(*sloLoads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
@@ -115,6 +123,7 @@ func main() {
 		ConnScale:   counts,
 		ShardScale:  shardConns,
 		ShardCounts: shardCounts,
+		MemScale:    memCounts,
 		SLOLoads:    loads,
 		SLOWindow:   *sloWindow,
 		SLOWorkload: *sloWorkload,
@@ -229,6 +238,9 @@ func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	}
 	if r.ShardScale != nil {
 		shardScaleOut(r.ShardScale)
+	}
+	if r.MemScale != nil {
+		memScaleOut(r.MemScale)
 	}
 	if r.Timeline != nil {
 		timeline(*r.Timeline)
@@ -425,6 +437,33 @@ func shardScaleOut(points []bench.ShardScalePoint) {
 		fmt.Printf("%8d %6d %7d %8d %12d %12.0f %14.0f %14.0f %8.2f %6.2f\n",
 			p.Conns, p.Cells, p.Shards, p.Workers, p.Rounds, float64(p.WallNS)/1e6,
 			p.EventsPerSec, p.EventsPerSecPerCore, p.Speedup, p.Efficiency)
+	}
+	fmt.Println()
+}
+
+func memScaleOut(points []bench.MemScalePoint) {
+	fmt.Println("=== E13: memory layout at scale (map vs flowtab bridges) ===")
+	fmt.Println("(N established failover connections held live on real bridges;")
+	fmt.Println(" \"map\" allocates the pointer-per-connection layout the bridges")
+	fmt.Println(" used before the flow-table rewrite, \"flowtab\" populates the")
+	fmt.Println(" open-addressing tables and slab arenas; live objects/bytes are")
+	fmt.Println(" runtime.GC deltas, forced-GC wall time shows the scan cost,")
+	fmt.Println(" and the drive phase pushes client ACKs through the hot path)")
+	fmt.Printf("%9s %8s %12s %12s %9s %8s %11s %12s %12s\n",
+		"conns", "layout", "objects", "obj/conn", "bytes/c", "GC [ms]", "pause [us]", "ns/segment", "allocs/seg")
+	for i, p := range points {
+		if i > 0 && p.Conns != points[i-1].Conns {
+			fmt.Println()
+		}
+		drive := "-"
+		allocs := "-"
+		if p.DriveSegments > 0 {
+			drive = fmt.Sprintf("%.0f", p.DriveNsPerSegment)
+			allocs = fmt.Sprintf("%.5f", p.DriveAllocsPerSegment)
+		}
+		fmt.Printf("%9d %8s %12d %12.4f %9.0f %8.2f %11.0f %12s %12s\n",
+			p.Conns, p.Layout, p.LiveObjects, p.ObjectsPerConn, p.BytesPerConn,
+			float64(p.ForcedGCNS)/1e6, float64(p.GCPauseNS)/1e3, drive, allocs)
 	}
 	fmt.Println()
 }

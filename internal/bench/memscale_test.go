@@ -1,0 +1,71 @@
+package bench
+
+import "testing"
+
+// TestMemScaleGates is the memory-layout regression gate for the flow-table
+// rewrite (CI runs it on every push). At a small connection count it checks
+// the structural claims E13 makes at a million connections:
+//
+//   - the flowtab layout keeps the GC-scannable object count per connection
+//     far below one (the tables and arenas are O(1) objects total, so the
+//     quotient shrinks with N; anything near 1.0 means a per-connection
+//     heap object crept back in),
+//   - the old map layout costs at least 2x as many live objects per
+//     connection (the issue's acceptance bar — in practice the ratio is
+//     in the hundreds),
+//   - the drive phase stays allocation-free, mirroring the E8 gate.
+//
+// Heap counters are exact (runtime.ReadMemStats after runtime.GC), so the
+// thresholds are structural, not timing-noise-prone; wall-clock fields are
+// reported but never gated.
+func TestMemScaleGates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; heap-object counts only mean anything in a plain build")
+	}
+	pts, err := MemScale([]int{20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (map, flowtab)", len(pts))
+	}
+	var mp, ft *MemScalePoint
+	for i := range pts {
+		switch pts[i].Layout {
+		case "map":
+			mp = &pts[i]
+		case "flowtab":
+			ft = &pts[i]
+		}
+	}
+	if mp == nil || ft == nil {
+		t.Fatalf("missing layout cell: %+v", pts)
+	}
+	if ft.ObjectsPerConn >= 1.0 {
+		t.Errorf("flowtab layout holds %.4f live objects per connection (want << 1; a per-connection heap object is back)",
+			ft.ObjectsPerConn)
+	}
+	if mp.ObjectsPerConn < 2*ft.ObjectsPerConn || mp.ObjectsPerConn < 1.0 {
+		t.Errorf("map/flowtab live-object ratio collapsed: map %.4f vs flowtab %.4f objects/conn (want >= 2x and map >= 1)",
+			mp.ObjectsPerConn, ft.ObjectsPerConn)
+	}
+	// GC budget, relative so host noise cancels: collecting the flowtab
+	// heap must not cost more than collecting the map heap — it has two
+	// orders of magnitude fewer objects to scan. 1.5x headroom absorbs
+	// scheduling jitter; a real regression (per-connection objects back on
+	// the heap) lands at map-level cost or worse.
+	if ft.ForcedGCNS > mp.ForcedGCNS*3/2 {
+		t.Errorf("forced GC over the flowtab heap took %.2fms vs %.2fms for the map heap (want <= 1.5x)",
+			float64(ft.ForcedGCNS)/1e6, float64(mp.ForcedGCNS)/1e6)
+	}
+	if ft.DriveSegments == 0 {
+		t.Fatalf("flowtab cell measured no drive segments: %+v", ft)
+	}
+	if ft.DriveAllocsPerSegment >= 0.01 {
+		t.Errorf("drive phase allocations regressed: %.4f allocs/segment (want < 0.01)",
+			ft.DriveAllocsPerSegment)
+	}
+	if ft.DriveNsPerSegment <= 0 {
+		t.Errorf("drive ns/segment = %v, want > 0", ft.DriveNsPerSegment)
+	}
+}

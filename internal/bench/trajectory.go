@@ -11,8 +11,8 @@ import (
 // parameters. It mirrors the failover-bench command-line flags.
 type Config struct {
 	// Experiments names the experiments to run: connscale, shardscale,
-	// connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep,
-	// failtimeline, adversary, slo.
+	// memscale, connsetup, fig3, fig4, fig5, fig6, ablate, failover,
+	// faultsweep, failtimeline, adversary, slo.
 	// Empty or containing "all" runs everything. Execution order is always
 	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
@@ -35,6 +35,9 @@ type Config struct {
 	// ShardCounts overrides the shard-count axis of E10; nil means
 	// DefaultShardCounts.
 	ShardCounts []int `json:"shard_counts,omitempty"`
+	// MemScale overrides the connection-count sweep of E13; nil means
+	// DefaultMemScale.
+	MemScale []int `json:"mem_scale,omitempty"`
 	// SLOLoads overrides the offered-load axis of E12 (sessions/second);
 	// nil means DefaultSLOLoads.
 	SLOLoads []float64 `json:"slo_loads,omitempty"`
@@ -56,8 +59,9 @@ type Config struct {
 // last, even after returning the dirtied heap to the OS).
 // shardscale follows immediately: it too measures the simulator's own
 // wall-clock cost and wants a heap that has not been churned by the
-// virtual-time experiments.
-var experimentOrder = []string{"connscale", "shardscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary", "slo"}
+// virtual-time experiments; memscale follows for the same reason (its cells
+// measure the process's own heap, and each cell re-settles it first).
+var experimentOrder = []string{"connscale", "shardscale", "memscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary", "slo"}
 
 // ExperimentNames lists the valid experiment names in canonical execution
 // order (plus the "all" pseudo-name accepted by Config.Experiments).
@@ -112,11 +116,13 @@ type Results struct {
 	Timeline   *TimelineResult   `json:"timeline,omitempty"`
 	Adversary  []AdversaryPoint  `json:"adversary,omitempty"`
 	SLO        []SLOPoint        `json:"slo,omitempty"`
-	// ConnScale and ShardScale are the Results members with host-dependent
-	// fields (wall-clock and allocation counters); the determinism test
-	// compares the experiments above, which are functions of the seeds only.
+	// ConnScale, ShardScale, and MemScale are the Results members with
+	// host-dependent fields (wall-clock, heap, and allocation counters);
+	// the determinism test compares the experiments above, which are
+	// functions of the seeds only.
 	ConnScale  []ConnScalePoint  `json:"conn_scale,omitempty"`
 	ShardScale []ShardScalePoint `json:"shard_scale,omitempty"`
+	MemScale   []MemScalePoint   `json:"mem_scale,omitempty"`
 }
 
 // ExperimentPerf records one experiment's host-side cost: wall-clock time,
@@ -208,6 +214,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 		if err := t.measure("shardscale", func() error {
 			var err error
 			t.Results.ShardScale, err = ShardScale(cfg.ShardScale, cfg.ShardCounts)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["memscale"] {
+		if err := t.measure("memscale", func() error {
+			var err error
+			t.Results.MemScale, err = MemScale(cfg.MemScale)
 			return err
 		}); err != nil {
 			return nil, err

@@ -57,6 +57,16 @@ func TestPrimaryBridgeChurnBounded(t *testing.T) {
 	if ev := f.b.Stats().ConnsEvicted; ev != wantEv {
 		t.Errorf("evictions = %d, want %d", ev, wantEv)
 	}
+	// Slot reuse: the flood pushed 1000 records through a 64-entry arena, so
+	// evicted slots must be recycled — the arena's high-water mark stays at
+	// the LRU bound (+1 for the insert-then-evict window), not the churn.
+	if live := f.b.slots.Len(); live != cap {
+		t.Errorf("pconn arena holds %d live slots, want %d", live, cap)
+	}
+	if grew := f.b.slots.Cap(); grew > cap+1 {
+		t.Errorf("pconn arena grew to %d slots under churn, want <= %d (evicted slots not reused)",
+			grew, cap+1)
+	}
 	// The legitimate connection survived the entire flood.
 	f.sent = nil
 	f.fromClientWire(t, &tcp.Segment{Seq: clientISS + 1, Ack: sISS + 1,
@@ -115,6 +125,15 @@ func TestSecondaryBridgeChurnBounded(t *testing.T) {
 	wantEv := int64(propTrials + 1 - cap)
 	if ev := f.b.Stats().FlowsEvicted; ev != wantEv {
 		t.Errorf("evictions = %d, want %d", ev, wantEv)
+	}
+	// Slot reuse, as in the primary test: the arena must not grow past the
+	// flow limit no matter how many flows churned through it.
+	if live := f.b.fslots.Len(); live != cap {
+		t.Errorf("sflow arena holds %d live slots, want %d", live, cap)
+	}
+	if grew := f.b.fslots.Cap(); grew > cap+1 {
+		t.Errorf("sflow arena grew to %d slots under churn, want <= %d (evicted slots not reused)",
+			grew, cap+1)
 	}
 	// The refreshed flow must still be resident: snooping it again must not
 	// evict anything further.

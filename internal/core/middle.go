@@ -1,6 +1,9 @@
 package core
 
 import (
+	"slices"
+
+	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
@@ -38,7 +41,11 @@ type MiddleBridge struct {
 	pb *PrimaryBridge // matches own output against the tail's stream
 
 	active bool // diverting toward the head (false once promoted)
-	conns  map[TupleKey]tcp.Tuple
+	// conns is the set of snooped failover connections (the re-key tuple is
+	// derivable from the key plus the middle's own address, so only the key
+	// set is stored). keyScratch backs PromoteToHead's sorted walk.
+	conns      flowtab.Table
+	keyScratch []uint64
 
 	stats SecondaryStats
 }
@@ -57,7 +64,6 @@ func NewMiddleBridge(host *netstack.Host, ifIndex int, service, self, tail ipv4.
 		sel:     sel,
 		pb:      NewPrimaryBridgeCore(host, self, tail, sel, cfg),
 		active:  true,
-		conns:   make(map[TupleKey]tcp.Tuple),
 	}
 	// The merged stream is diverted up the chain instead of sent to the
 	// client.
@@ -92,12 +98,7 @@ func (b *MiddleBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (ne
 				tcp.ClampRawMSS(payload, origDstOptionLen)
 			}
 			b.stats.SnoopedIn++
-			b.conns[key] = tcp.Tuple{
-				LocalAddr:  b.self,
-				LocalPort:  key.LocalPort(),
-				RemoteAddr: key.PeerAddr(),
-				RemotePort: key.PeerPort(),
-			}
+			b.conns.Put(uint64(key), 1)
 			// Fall through into the primary role, which translates the
 			// acknowledgment into this TCP layer's sequence space and
 			// delivers.
@@ -151,8 +152,16 @@ func (b *MiddleBridge) PromoteToHead() error {
 	// client segments (addressed to it) hit the acknowledgment translation.
 	b.pb.SetLocalAddr(b.service)
 	stack := b.host.TCP()
-	for _, k := range sortedKeys(b.conns) {
-		t := b.conns[k]
+	b.keyScratch = b.conns.AppendKeys(b.keyScratch[:0])
+	slices.Sort(b.keyScratch)
+	for _, kk := range b.keyScratch {
+		key := TupleKey(kk)
+		t := tcp.Tuple{
+			LocalAddr:  b.self,
+			LocalPort:  key.LocalPort(),
+			RemoteAddr: key.PeerAddr(),
+			RemotePort: key.PeerPort(),
+		}
 		if _, ok := stack.Lookup(t); !ok {
 			continue
 		}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"slices"
 	"time"
 
+	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
@@ -77,8 +79,15 @@ const seqHorizon = 65536
 // pconn is the primary bridge's per-connection state: the two output
 // queues, the sequence-number offset, and the acknowledgment/window
 // bookkeeping of sections 3 and 7 of the paper.
+//
+// Records live by value in the bridge's slab, addressed by slot index, and
+// hold no pointers to other records: the LRU links are slot indices, and
+// the output queues are embedded values. At a million connections the
+// garbage collector therefore sees one conns table and one slab — not a
+// million pconns each dragging two queue objects (DESIGN.md §14).
 type pconn struct {
 	key             TupleKey
+	self            int32 // own slot index in the bridge's slab
 	serverInitiated bool
 
 	// Establishment.
@@ -92,7 +101,7 @@ type pconn struct {
 
 	// Server-to-client stream, in the secondary's sequence space.
 	sndMax       tcp.Seq // next byte to release to the client
-	pq, sq       *byteQueue
+	pq, sq       byteQueue
 	pFin, sFin   tcp.Seq
 	pFinSet      bool
 	sFinSet      bool
@@ -112,9 +121,10 @@ type pconn struct {
 	clientFinSeen bool
 	clientFinEnd  tcp.Seq // sequence number just past the client's FIN
 
-	// Intrusive LRU links, maintained only under PrimaryConfig.MaxConns —
-	// no allocation and no cost on the unbounded default path.
-	lruPrev, lruNext *pconn
+	// Intrusive LRU links (slot indices, -1 = none), maintained only under
+	// PrimaryConfig.MaxConns — no allocation and no cost on the unbounded
+	// default path.
+	lruPrev, lruNext int32
 }
 
 func (c *pconn) effMSS(def uint16) int {
@@ -136,12 +146,20 @@ type PrimaryBridge struct {
 	sel    *Selector
 	cfg    PrimaryConfig
 
-	conns    map[TupleKey]*pconn
+	// conns maps TupleKey to a slot index in slots; together they replace
+	// the map[TupleKey]*pconn a pointer-chasing design would use.
+	conns    flowtab.Table
+	slots    flowtab.Slab[pconn]
 	degraded bool // after secondary failure (section 6)
 
-	// LRU list over conns, most-recently-touched first; only maintained
-	// when cfg.MaxConns > 0.
-	lruHead, lruTail *pconn
+	// LRU list over conns (slot indices, -1 = none), most-recently-touched
+	// first; only maintained when cfg.MaxConns > 0.
+	lruHead, lruTail int32
+
+	// keyScratch is the reusable buffer for the sorted-key reconfiguration
+	// walks, so HandleSecondaryFailure does not allocate O(conns) memory in
+	// the middle of a takeover.
+	keyScratch []uint64
 
 	// emit transports a finished client-bound segment, taking ownership of
 	// the packet buffer. The default sends it directly; a daisy-chained
@@ -176,14 +194,15 @@ func NewPrimaryBridge(host *netstack.Host, primaryAddr, secondaryAddr ipv4.Addr,
 // Inbound/Outbound handlers itself.
 func NewPrimaryBridgeCore(host *netstack.Host, primaryAddr, secondaryAddr ipv4.Addr, sel *Selector, cfg PrimaryConfig) *PrimaryBridge {
 	b := &PrimaryBridge{
-		host:  host,
-		sched: host.Scheduler(),
-		aP:    primaryAddr,
-		aS:    secondaryAddr,
-		sel:   sel,
-		cfg:   cfg.withDefaults(),
-		conns: make(map[TupleKey]*pconn),
-		m:     newPrimaryMetrics(nil, ""),
+		host:    host,
+		sched:   host.Scheduler(),
+		aP:      primaryAddr,
+		aS:      secondaryAddr,
+		sel:     sel,
+		cfg:     cfg.withDefaults(),
+		lruHead: -1,
+		lruTail: -1,
+		m:       newPrimaryMetrics(nil, ""),
 	}
 	b.emit = func(client ipv4.Addr, pkt *netbuf.Buffer) {
 		_ = b.host.SendIPFastBuf(b.aP, client, ipv4.ProtoTCP, pkt)
@@ -234,22 +253,35 @@ func (b *PrimaryBridge) Stats() PrimaryStats {
 func (b *PrimaryBridge) Degraded() bool { return b.degraded }
 
 // Conns returns the number of tracked connections.
-func (b *PrimaryBridge) Conns() int { return len(b.conns) }
+func (b *PrimaryBridge) Conns() int { return b.conns.Len() }
+
+// lookup returns the live record for key, or nil. The returned pointer is
+// valid until the next slot allocation (b.conn on a miss).
+func (b *PrimaryBridge) lookup(key TupleKey) *pconn {
+	if i, ok := b.conns.Get(uint64(key)); ok {
+		return b.slots.At(i)
+	}
+	return nil
+}
 
 func (b *PrimaryBridge) conn(key TupleKey) *pconn {
-	c, ok := b.conns[key]
-	if !ok {
-		c = &pconn{key: key}
-		b.conns[key] = c
-		b.stats.ConnsOpened++
-		if b.cfg.MaxConns > 0 {
-			b.lruPush(c)
-			for len(b.conns) > b.cfg.MaxConns && b.lruTail != nil && b.lruTail != c {
-				victim := b.lruTail
-				b.removeConn(victim)
-				b.stats.ConnsEvicted++
-				b.m.flowEvictions.Inc()
-			}
+	if c := b.lookup(key); c != nil {
+		return c
+	}
+	idx := b.slots.Alloc()
+	c := b.slots.At(idx)
+	c.key = key
+	c.self = int32(idx)
+	c.lruPrev, c.lruNext = -1, -1
+	b.conns.Put(uint64(key), idx)
+	b.stats.ConnsOpened++
+	if b.cfg.MaxConns > 0 {
+		b.lruPush(c)
+		for b.conns.Len() > b.cfg.MaxConns && b.lruTail >= 0 && b.lruTail != c.self {
+			victim := b.slots.At(uint32(b.lruTail))
+			b.removeConn(victim)
+			b.stats.ConnsEvicted++
+			b.m.flowEvictions.Inc()
 		}
 	}
 	return c
@@ -258,34 +290,34 @@ func (b *PrimaryBridge) conn(key TupleKey) *pconn {
 // --- LRU list, maintained only when cfg.MaxConns > 0 -------------------------
 
 func (b *PrimaryBridge) lruPush(c *pconn) {
-	c.lruPrev, c.lruNext = nil, b.lruHead
-	if b.lruHead != nil {
-		b.lruHead.lruPrev = c
+	c.lruPrev, c.lruNext = -1, b.lruHead
+	if b.lruHead >= 0 {
+		b.slots.At(uint32(b.lruHead)).lruPrev = c.self
 	}
-	b.lruHead = c
-	if b.lruTail == nil {
-		b.lruTail = c
+	b.lruHead = c.self
+	if b.lruTail < 0 {
+		b.lruTail = c.self
 	}
 }
 
 func (b *PrimaryBridge) lruUnlink(c *pconn) {
-	if c.lruPrev != nil {
-		c.lruPrev.lruNext = c.lruNext
-	} else if b.lruHead == c {
+	if c.lruPrev >= 0 {
+		b.slots.At(uint32(c.lruPrev)).lruNext = c.lruNext
+	} else if b.lruHead == c.self {
 		b.lruHead = c.lruNext
 	}
-	if c.lruNext != nil {
-		c.lruNext.lruPrev = c.lruPrev
-	} else if b.lruTail == c {
+	if c.lruNext >= 0 {
+		b.slots.At(uint32(c.lruNext)).lruPrev = c.lruPrev
+	} else if b.lruTail == c.self {
 		b.lruTail = c.lruPrev
 	}
-	c.lruPrev, c.lruNext = nil, nil
+	c.lruPrev, c.lruNext = -1, -1
 }
 
 // lruTouch moves c to the front: legitimate traffic keeps its connection
 // fresh, so a SYN flood's idle embryos are the ones the cap evicts.
 func (b *PrimaryBridge) lruTouch(c *pconn) {
-	if b.cfg.MaxConns == 0 || b.lruHead == c {
+	if b.cfg.MaxConns == 0 || b.lruHead == c.self {
 		return
 	}
 	b.lruUnlink(c)
@@ -296,10 +328,11 @@ func (b *PrimaryBridge) lruTouch(c *pconn) {
 
 func (b *PrimaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	key := MakeTupleKey(dst, tcp.RawDstPort(segment), tcp.RawSrcPort(segment))
-	// Steady state is a single map hit: a tracked connection implies the
+	// Steady state is a single table hit: a tracked connection implies the
 	// selector matched when the record was created, so the (up to three
 	// probe) selector runs only on a conns miss.
-	c, exists := b.conns[key]
+	c := b.lookup(key)
+	exists := c != nil
 	if !exists && !b.sel.Match(key) {
 		return false
 	}
@@ -437,11 +470,11 @@ func (b *PrimaryBridge) inbound(ifIndex int, hdr ipv4.Header, payload []byte) (n
 	}
 
 	// A client segment. A tracked connection implies a past selector match,
-	// so steady state is one map hit.
+	// so steady state is one table hit.
 	key := MakeTupleKey(hdr.Src, tcp.RawSrcPort(payload), tcp.RawDstPort(payload))
 	flags := tcp.RawFlags(payload)
-	c, exists := b.conns[key]
-	if !exists {
+	c := b.lookup(key)
+	if c == nil {
 		if !b.sel.Match(key) {
 			return netstack.VerdictPass, hdr, payload
 		}
@@ -555,7 +588,8 @@ func (b *PrimaryBridge) fromSecondary(orig ipv4.Addr, segment []byte) {
 	b.stats.SegmentsFromSecondary++
 	key := MakeTupleKey(orig, tcp.RawDstPort(segment), tcp.RawSrcPort(segment))
 	flags := tcp.RawFlags(segment)
-	c, exists := b.conns[key]
+	c := b.lookup(key)
+	exists := c != nil
 	if !exists {
 		switch {
 		case flags.Has(tcp.FlagFIN) || len(tcp.RawPayload(segment)) > 0:
@@ -667,9 +701,9 @@ func (b *PrimaryBridge) ingestServerSegment(c *pconn, sSeq tcp.Seq, payload []by
 		return
 	}
 	if len(payload) > 0 {
-		q := c.sq
+		q := &c.sq
 		if fromPrimary {
-			q = c.pq
+			q = &c.pq
 		}
 		// Insert trims duplicates below the floor, so the gauge tracks the
 		// realized growth rather than the raw payload length.
@@ -813,8 +847,8 @@ func (b *PrimaryBridge) maybeSendCombinedSyn(c *pconn) {
 		c.delta = c.seqPInit - c.seqSInit
 		c.deltaKnown = true
 		c.sndMax = c.seqSInit.Add(1)
-		c.pq = newByteQueue(c.sndMax)
-		c.sq = newByteQueue(c.sndMax)
+		c.pq.reset(c.sndMax)
+		c.sq.reset(c.sndMax)
 	}
 	mss := c.effMSS(b.cfg.DefaultMSS)
 	seg := &tcp.Segment{
@@ -915,10 +949,14 @@ func (b *PrimaryBridge) maybeGC(c *pconn) {
 		return
 	}
 	if b.cfg.GCLinger > 0 {
-		key := c.key
+		// The slot may be freed and re-let to a new tenant (even for the
+		// same tuple) while the timer is pending; the slab generation is
+		// what distinguishes the tenancy this timer was armed against.
+		key, idx := c.key, uint32(c.self)
+		gen := b.slots.Gen(idx)
 		b.sched.After(b.cfg.GCLinger, "bridge.gc", func() {
-			if cur, ok := b.conns[key]; ok && cur == c {
-				b.removeConn(c)
+			if cur, ok := b.conns.Get(uint64(key)); ok && cur == idx && b.slots.Live(idx, gen) {
+				b.removeConn(b.slots.At(idx))
 			}
 		})
 		return
@@ -937,19 +975,18 @@ func (b *PrimaryBridge) qAdvance(c *pconn, n int) {
 }
 
 func (b *PrimaryBridge) removeConn(c *pconn) {
-	if cur, ok := b.conns[c.key]; ok && cur == c {
-		if b.cfg.MaxConns > 0 {
-			b.lruUnlink(c)
-		}
-		delete(b.conns, c.key)
-		b.stats.ConnsClosed++
-		if c.pq != nil {
-			b.m.queueBytes.Add(int64(-c.pq.Len()))
-		}
-		if c.sq != nil {
-			b.m.queueBytes.Add(int64(-c.sq.Len()))
-		}
+	idx, ok := b.conns.Get(uint64(c.key))
+	if !ok || b.slots.At(idx) != c {
+		return
 	}
+	if b.cfg.MaxConns > 0 {
+		b.lruUnlink(c)
+	}
+	b.conns.Delete(uint64(c.key))
+	b.stats.ConnsClosed++
+	b.m.queueBytes.Add(int64(-(c.pq.Len() + c.sq.Len())))
+	// Free zeroes the record, releasing the queues' block storage.
+	b.slots.Free(idx)
 }
 
 // HandleSecondaryFailure reconfigures the bridge per section 6 of the
@@ -962,8 +999,17 @@ func (b *PrimaryBridge) HandleSecondaryFailure() {
 		return
 	}
 	b.degraded = true
-	for _, k := range sortedKeys(b.conns) {
-		c := b.conns[k]
+	// The walk must be deterministic (the table's internal order is not):
+	// sort the keys into the bridge's reusable scratch buffer rather than
+	// allocating O(conns) in the middle of a takeover.
+	b.keyScratch = b.conns.AppendKeys(b.keyScratch[:0])
+	slices.Sort(b.keyScratch)
+	for _, k := range b.keyScratch {
+		idx, ok := b.conns.Get(k)
+		if !ok {
+			continue
+		}
+		c := b.slots.At(idx)
 		if !c.deltaKnown {
 			if c.pInitSet && !c.sInitSet {
 				b.adoptPrimaryAsSecondary(c)

@@ -48,6 +48,13 @@ func (b qblock) end() tcp.Seq { return b.seq.Add(len(b.data)) }
 
 func newByteQueue(floor tcp.Seq) *byteQueue { return &byteQueue{floor: floor} }
 
+// reset re-initializes the queue to empty with the given floor. The bridges
+// embed their queues by value inside slab records, so establishment calls
+// reset instead of allocating a fresh queue; dropping the block slices here
+// (rather than keeping them as scratch) is fine because slot reuse zeroes
+// the record anyway.
+func (q *byteQueue) reset(floor tcp.Seq) { *q = byteQueue{floor: floor} }
+
 // Len returns the number of buffered bytes.
 func (q *byteQueue) Len() int { return q.bytes }
 

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"slices"
+
+	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
@@ -41,23 +44,26 @@ type SecondaryBridge struct {
 	sel      *Selector
 
 	active bool
-	// conns tracks the failover connections established under aS so they
-	// can be re-keyed to aP at takeover.
-	conns map[TupleKey]tcp.Tuple
 	// flows caches the per-tuple snoop/divert decision: the selector
 	// verdict and, for failover flows, the precomputed original-destination
 	// option block. Both hooks normalize a segment to the same TupleKey, so
-	// steady-state segments in either direction pay a single map hit
-	// instead of up to three selector probes plus a conns write. Entries
-	// self-invalidate when the selector configuration changes.
-	flows map[TupleKey]*sflow
-	// maxFlows bounds the flow cache (and the takeover conns table it
-	// feeds): when exceeded, the least-recently-touched flow is evicted. 0
-	// means unbounded — the historical behavior. The packed-uint64 keys make
-	// each entry cheap, but a SYN flood of spoofed clients would still grow
-	// the maps without limit.
+	// steady-state segments in either direction pay a single table hit
+	// instead of up to three selector probes. Entries self-invalidate when
+	// the selector configuration changes. The table maps keys to slot
+	// indices in fslots; records live by value, so a million snooped flows
+	// are a handful of flat allocations rather than a million heap objects.
+	flows  flowtab.Table
+	fslots flowtab.Slab[sflow]
+	// maxFlows bounds the flow cache (and the takeover records it holds):
+	// when exceeded, the least-recently-touched flow is evicted. 0 means
+	// unbounded — the historical behavior. The packed-uint64 keys make each
+	// entry cheap, but a SYN flood of spoofed clients would still grow the
+	// table without limit.
 	maxFlows         int
-	lruHead, lruTail *sflow
+	lruHead, lruTail int32 // slot indices, -1 = none
+
+	// keyScratch is the reusable buffer for Takeover's sorted re-key walk.
+	keyScratch []uint64
 
 	stats SecondaryStats
 	m     secondaryMetrics
@@ -68,24 +74,36 @@ type SecondaryBridge struct {
 	OnTakeover func()
 }
 
-// sflow is a cached per-flow decision of the secondary bridge.
+// sflow is a cached per-flow decision of the secondary bridge. Records live
+// by value in the bridge's slab; the LRU links are slot indices.
 type sflow struct {
 	gen   uint64 // selector generation the verdict was computed under
 	match bool
-	opt   [8]byte // orig-dst option block carrying the client address
+	// rec marks a flow that matched at least once: at takeover its TCP
+	// connection must be re-keyed to aP. The tuple itself is not stored —
+	// it is fully derivable from the key plus the bridge's own address, so
+	// the separate map[TupleKey]tcp.Tuple earlier revisions kept was pure
+	// redundancy. The bit is sticky across selector reconfigurations,
+	// matching the old table's never-unrecorded semantics.
+	rec bool
+	opt [8]byte // orig-dst option block carrying the client address
 
-	// Intrusive LRU links plus the owning key, maintained only under a
-	// SetFlowLimit cap — no cost on the unbounded default path.
+	// Owning key and intrusive LRU links (slot indices, -1 = none), the
+	// links maintained only under a SetFlowLimit cap.
 	key              TupleKey
-	lruPrev, lruNext *sflow
+	self             int32
+	lruPrev, lruNext int32
 }
 
 // flow returns the cached decision for key, classifying the flow on first
 // sight (or after a selector change): the verdict is computed, the option
-// block prebuilt, and — for failover flows — the connection recorded for
+// block prebuilt, and — for failover flows — the connection marked for
 // takeover re-keying.
 func (b *SecondaryBridge) flow(key TupleKey) *sflow {
-	f := b.flows[key]
+	var f *sflow
+	if i, ok := b.flows.Get(uint64(key)); ok {
+		f = b.fslots.At(i)
+	}
 	if f != nil && f.gen == b.sel.Gen() {
 		if b.maxFlows > 0 {
 			b.lruTouch(f)
@@ -93,12 +111,16 @@ func (b *SecondaryBridge) flow(key TupleKey) *sflow {
 		return f
 	}
 	if f == nil {
-		f = &sflow{key: key}
-		b.flows[key] = f
+		idx := b.fslots.Alloc()
+		f = b.fslots.At(idx)
+		f.key = key
+		f.self = int32(idx)
+		f.lruPrev, f.lruNext = -1, -1
+		b.flows.Put(uint64(key), idx)
 		if b.maxFlows > 0 {
 			b.lruPush(f)
-			for len(b.flows) > b.maxFlows && b.lruTail != nil && b.lruTail != f {
-				b.evict(b.lruTail)
+			for b.flows.Len() > b.maxFlows && b.lruTail >= 0 && b.lruTail != f.self {
+				b.evict(b.fslots.At(uint32(b.lruTail)))
 			}
 		}
 	} else if b.maxFlows > 0 {
@@ -108,12 +130,7 @@ func (b *SecondaryBridge) flow(key TupleKey) *sflow {
 	f.match = b.sel.Match(key)
 	if f.match {
 		tcp.OrigDstOptionBlock(&f.opt, key.PeerAddr())
-		b.conns[key] = tcp.Tuple{
-			LocalAddr:  b.aS,
-			LocalPort:  key.LocalPort(),
-			RemoteAddr: key.PeerAddr(),
-			RemotePort: key.PeerPort(),
-		}
+		f.rec = true
 	}
 	return f
 }
@@ -121,48 +138,48 @@ func (b *SecondaryBridge) flow(key TupleKey) *sflow {
 // --- LRU list, maintained only when maxFlows > 0 -----------------------------
 
 func (b *SecondaryBridge) lruPush(f *sflow) {
-	f.lruPrev, f.lruNext = nil, b.lruHead
-	if b.lruHead != nil {
-		b.lruHead.lruPrev = f
+	f.lruPrev, f.lruNext = -1, b.lruHead
+	if b.lruHead >= 0 {
+		b.fslots.At(uint32(b.lruHead)).lruPrev = f.self
 	}
-	b.lruHead = f
-	if b.lruTail == nil {
-		b.lruTail = f
+	b.lruHead = f.self
+	if b.lruTail < 0 {
+		b.lruTail = f.self
 	}
 }
 
 func (b *SecondaryBridge) lruUnlink(f *sflow) {
-	if f.lruPrev != nil {
-		f.lruPrev.lruNext = f.lruNext
-	} else if b.lruHead == f {
+	if f.lruPrev >= 0 {
+		b.fslots.At(uint32(f.lruPrev)).lruNext = f.lruNext
+	} else if b.lruHead == f.self {
 		b.lruHead = f.lruNext
 	}
-	if f.lruNext != nil {
-		f.lruNext.lruPrev = f.lruPrev
-	} else if b.lruTail == f {
+	if f.lruNext >= 0 {
+		b.fslots.At(uint32(f.lruNext)).lruPrev = f.lruPrev
+	} else if b.lruTail == f.self {
 		b.lruTail = f.lruPrev
 	}
-	f.lruPrev, f.lruNext = nil, nil
+	f.lruPrev, f.lruNext = -1, -1
 }
 
 func (b *SecondaryBridge) lruTouch(f *sflow) {
-	if b.lruHead == f {
+	if b.lruHead == f.self {
 		return
 	}
 	b.lruUnlink(f)
 	b.lruPush(f)
 }
 
-// evict drops a flow-cache entry and the takeover record it fed. Active
+// evict drops a flow-cache entry, including its takeover record. Active
 // connections stay LRU-fresh (every snooped or diverted segment touches the
 // entry), so what the cap sheds under a SYN flood is the flood's own
 // single-segment flows.
 func (b *SecondaryBridge) evict(f *sflow) {
 	b.lruUnlink(f)
-	delete(b.flows, f.key)
-	delete(b.conns, f.key)
+	b.flows.Delete(uint64(f.key))
 	b.stats.FlowsEvicted++
 	b.m.flowEvictions.Inc()
+	b.fslots.Free(uint32(f.self))
 }
 
 // SetFlowLimit bounds the flow cache to n entries, evicting the least
@@ -173,7 +190,7 @@ func (b *SecondaryBridge) evict(f *sflow) {
 func (b *SecondaryBridge) SetFlowLimit(n int) { b.maxFlows = n }
 
 // Flows returns the number of cached flow entries.
-func (b *SecondaryBridge) Flows() int { return len(b.flows) }
+func (b *SecondaryBridge) Flows() int { return b.flows.Len() }
 
 // NewSecondaryBridge installs the bridge on host's interface ifIndex. The
 // NIC is placed in promiscuous receive mode.
@@ -186,8 +203,8 @@ func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondary
 		upstream: primaryAddr,
 		sel:      sel,
 		active:   true,
-		conns:    make(map[TupleKey]tcp.Tuple),
-		flows:    make(map[TupleKey]*sflow),
+		lruHead:  -1,
+		lruTail:  -1,
 		m:        newSecondaryMetrics(nil, ""),
 	}
 	host.Iface(ifIndex).NIC().SetPromiscuous(true)
@@ -198,6 +215,17 @@ func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondary
 
 // Stats returns a copy of the bridge counters.
 func (b *SecondaryBridge) Stats() SecondaryStats { return b.stats }
+
+// Inbound is the bridge's inbound interposition handler (exported for
+// composition and benchmarks; NewSecondaryBridge installs it automatically).
+func (b *SecondaryBridge) Inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
+	return b.inbound(ifIndex, hdr, payload)
+}
+
+// Outbound is the bridge's outbound interposition handler.
+func (b *SecondaryBridge) Outbound(src, dst ipv4.Addr, segment []byte) bool {
+	return b.outbound(src, dst, segment)
+}
 
 // Active reports whether the bridge is operating (false after takeover).
 func (b *SecondaryBridge) Active() bool { return b.active }
@@ -292,8 +320,22 @@ func (b *SecondaryBridge) Takeover() error {
 	// Step 5.
 	b.host.AddAddress(b.ifIndex, b.aP)
 	stack := b.host.TCP()
-	for _, k := range sortedKeys(b.conns) {
-		t := b.conns[k]
+	// Deterministic re-key order: sort the flow keys into the reusable
+	// scratch buffer (the table's internal order is not stable run to run).
+	b.keyScratch = b.flows.AppendKeys(b.keyScratch[:0])
+	slices.Sort(b.keyScratch)
+	for _, kk := range b.keyScratch {
+		i, ok := b.flows.Get(kk)
+		if !ok || !b.fslots.At(i).rec {
+			continue
+		}
+		key := TupleKey(kk)
+		t := tcp.Tuple{
+			LocalAddr:  b.aS,
+			LocalPort:  key.LocalPort(),
+			RemoteAddr: key.PeerAddr(),
+			RemotePort: key.PeerPort(),
+		}
 		if _, ok := stack.Lookup(t); !ok {
 			continue // connection already closed
 		}

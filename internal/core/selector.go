@@ -19,9 +19,7 @@
 package core
 
 import (
-	"maps"
-	"slices"
-
+	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 )
 
@@ -40,15 +38,6 @@ func MakeTupleKey(peer ipv4.Addr, peerPort, localPort uint16) TupleKey {
 	return TupleKey(uint64(peer)<<32 | uint64(peerPort)<<16 | uint64(localPort))
 }
 
-// sortedKeys returns m's keys in ascending order. The failover
-// reconfiguration paths walk whole connection tables; iterating the map
-// directly would let Go's randomized map order decide the per-connection
-// send order, breaking run-to-run determinism the moment a table holds
-// more than one entry (the adversarial SYN-flood scenarios hold hundreds).
-func sortedKeys[V any](m map[TupleKey]V) []TupleKey {
-	return slices.Sorted(maps.Keys(m))
-}
-
 // PeerAddr returns the unreplicated peer's address.
 func (k TupleKey) PeerAddr() ipv4.Addr { return ipv4.Addr(k >> 32) }
 
@@ -65,40 +54,40 @@ func (k TupleKey) LocalPort() uint16 { return uint16(k) }
 // server ports (the replicated server's listening ports), peer ports (for
 // server-initiated connections to well-known back-end ports), and explicit
 // per-connection tuples (the socket-option method).
+// The port sets are flowtab bitsets rather than maps: Match sits on the
+// snoop path of every segment the secondary sees, and a bitset probe is a
+// shift and an indexed load with nothing for the garbage collector to
+// follow. The explicit-tuple set is a flowtab.Table for the same reason.
 type Selector struct {
-	serverPorts map[uint16]bool
-	peerPorts   map[uint16]bool
-	tuples      map[TupleKey]bool
+	serverPorts flowtab.PortSet
+	peerPorts   flowtab.PortSet
+	tuples      flowtab.Table
 	// gen counts configuration changes so per-flow verdict caches (the
 	// secondary bridge's) can self-invalidate instead of re-probing the
-	// three maps on every snooped segment.
+	// port sets on every snooped segment.
 	gen uint64
 }
 
 // NewSelector returns an empty selector.
 func NewSelector() *Selector {
-	return &Selector{
-		serverPorts: make(map[uint16]bool),
-		peerPorts:   make(map[uint16]bool),
-		tuples:      make(map[TupleKey]bool),
-	}
+	return &Selector{}
 }
 
 // EnableServerPort marks every connection whose replicated-server port is p
 // as a failover connection (paper's method 2, for server sockets).
-func (s *Selector) EnableServerPort(p uint16) { s.serverPorts[p] = true; s.gen++ }
+func (s *Selector) EnableServerPort(p uint16) { s.serverPorts.Add(p); s.gen++ }
 
 // EnablePeerPort marks every connection toward remote port p as a failover
 // connection; used for server-initiated connections to an unreplicated
 // back-end (paper section 7.2).
-func (s *Selector) EnablePeerPort(p uint16) { s.peerPorts[p] = true; s.gen++ }
+func (s *Selector) EnablePeerPort(p uint16) { s.peerPorts.Add(p); s.gen++ }
 
 // EnableTuple marks one specific connection (paper's method 1, the
 // per-socket option).
-func (s *Selector) EnableTuple(k TupleKey) { s.tuples[k] = true; s.gen++ }
+func (s *Selector) EnableTuple(k TupleKey) { s.tuples.Put(uint64(k), 1); s.gen++ }
 
 // DisableServerPort removes a server port from the set.
-func (s *Selector) DisableServerPort(p uint16) { delete(s.serverPorts, p); s.gen++ }
+func (s *Selector) DisableServerPort(p uint16) { s.serverPorts.Remove(p); s.gen++ }
 
 // Gen returns the configuration generation; it changes whenever the
 // selection rules do.
@@ -107,14 +96,14 @@ func (s *Selector) Gen() uint64 { return s.gen }
 // Match reports whether a connection identified by k is a failover
 // connection.
 func (s *Selector) Match(k TupleKey) bool {
-	return s.serverPorts[k.LocalPort()] || s.peerPorts[k.PeerPort()] || s.tuples[k]
+	if s.serverPorts.Contains(k.LocalPort()) || s.peerPorts.Contains(k.PeerPort()) {
+		return true
+	}
+	_, ok := s.tuples.Get(uint64(k))
+	return ok
 }
 
-// ServerPorts returns the configured server ports.
+// ServerPorts returns the configured server ports in ascending order.
 func (s *Selector) ServerPorts() []uint16 {
-	out := make([]uint16, 0, len(s.serverPorts))
-	for p := range s.serverPorts {
-		out = append(out, p)
-	}
-	return out
+	return s.serverPorts.Append(make([]uint16, 0, s.serverPorts.Len()))
 }

@@ -1,0 +1,138 @@
+package flowtab
+
+import "testing"
+
+type rec struct {
+	id   int
+	link int32
+}
+
+func TestSlabAllocFreeReuse(t *testing.T) {
+	s := NewSlab[rec](2)
+	a := s.Alloc()
+	b := s.Alloc()
+	if a == b {
+		t.Fatalf("Alloc returned the same slot twice: %d", a)
+	}
+	s.At(a).id = 1
+	s.At(b).id = 2
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	genA := s.Gen(a)
+	s.Free(a)
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d after Free, want 1", s.Len())
+	}
+	if s.Live(a, genA) {
+		t.Fatal("freed slot still validates against its old generation")
+	}
+	c := s.Alloc()
+	if c != a {
+		t.Fatalf("Alloc did not reuse the freed slot: got %d, want %d", c, a)
+	}
+	if s.At(c).id != 0 {
+		t.Fatalf("reused slot not zeroed: id = %d", s.At(c).id)
+	}
+	if s.Live(c, genA) {
+		t.Fatal("new tenant validates against the previous tenant's handle")
+	}
+	if !s.Live(c, s.Gen(c)) {
+		t.Fatal("current handle does not validate")
+	}
+	if s.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2 (reuse must not grow the arena)", s.Cap())
+	}
+}
+
+func TestSlabChurnStaysBounded(t *testing.T) {
+	var s Slab[rec]
+	// Allocate and free in waves; the arena must not exceed the peak
+	// concurrent live count.
+	const waves, width = 100, 64
+	for w := 0; w < waves; w++ {
+		idx := make([]uint32, width)
+		for i := range idx {
+			idx[i] = s.Alloc()
+			s.At(idx[i]).id = w*width + i
+		}
+		for _, i := range idx {
+			s.Free(i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d after balanced churn", s.Len())
+	}
+	if s.Cap() > width {
+		t.Fatalf("Cap() = %d after churn with peak %d live", s.Cap(), width)
+	}
+}
+
+func TestSlabRangeOrderAndLiveness(t *testing.T) {
+	var s Slab[rec]
+	var idx []uint32
+	for i := 0; i < 10; i++ {
+		j := s.Alloc()
+		s.At(j).id = i
+		idx = append(idx, j)
+	}
+	s.Free(idx[3])
+	s.Free(idx[7])
+	var seen []int
+	s.Range(func(i uint32, r *rec) { seen = append(seen, r.id) })
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d slots, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Range order: got %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestSlabDoubleFreePanics(t *testing.T) {
+	var s Slab[rec]
+	i := s.Alloc()
+	s.Free(i)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Free did not panic")
+		}
+	}()
+	s.Free(i)
+}
+
+func TestPortSet(t *testing.T) {
+	var ps PortSet
+	if ps.Contains(0) || ps.Contains(65535) || ps.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	ports := []uint16{0, 1, 63, 64, 80, 443, 8080, 49152, 65535}
+	for _, p := range ports {
+		ps.Add(p)
+		ps.Add(p) // idempotent
+	}
+	if ps.Len() != len(ports) {
+		t.Fatalf("Len() = %d, want %d", ps.Len(), len(ports))
+	}
+	for _, p := range ports {
+		if !ps.Contains(p) {
+			t.Errorf("Contains(%d) = false after Add", p)
+		}
+	}
+	if ps.Contains(81) || ps.Contains(2) {
+		t.Error("Contains reports a port never added")
+	}
+	got := ps.Append(nil)
+	for i, p := range ports {
+		if got[i] != p {
+			t.Fatalf("Append = %v, want ascending %v", got, ports)
+		}
+	}
+	ps.Remove(80)
+	ps.Remove(80) // idempotent
+	if ps.Contains(80) || ps.Len() != len(ports)-1 {
+		t.Fatalf("Remove(80) failed: len %d contains %v", ps.Len(), ps.Contains(80))
+	}
+}

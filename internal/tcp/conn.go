@@ -15,7 +15,6 @@ import (
 type Conn struct {
 	stack    *Stack
 	tuple    Tuple
-	hashNext *Conn // next conn sharing this one's Tuple.key (see Stack.conns)
 	state    State
 	listener *Listener // non-nil for passively opened connections
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/sim"
@@ -178,9 +179,16 @@ type Stack struct {
 	localAddr func(dst ipv4.Addr) (ipv4.Addr, bool)
 
 	listeners map[uint16]*Listener
-	// conns indexes connections by Tuple.key(); conns differing only in
-	// LocalAddr chain through Conn.hashNext.
-	conns    map[uint64]*Conn
+	// conns indexes connections by Tuple.key(), mapping each key to the
+	// head of an index-linked chain of connSlot records in chains; conns
+	// differing only in LocalAddr share a key and are told apart by the
+	// chain. The table and slab together replace the old map[uint64]*Conn:
+	// a million-connection demux is a handful of flat allocations, and the
+	// only per-connection heap object left is the *Conn itself (which
+	// application code retains long-term, so it cannot live in a slab whose
+	// backing array moves on growth).
+	conns    flowtab.Table
+	chains   flowtab.Slab[connSlot]
 	nconns   int
 	nextPort uint16
 
@@ -213,7 +221,6 @@ func NewStack(sched *sim.Scheduler, cfg Config, output Output,
 		rng:       sched.Rand(),
 		localAddr: localAddr,
 		listeners: make(map[uint16]*Listener),
-		conns:     make(map[uint64]*Conn),
 		nextPort:  49152,
 		m:         newStackMetrics(nil, ""),
 	}
@@ -314,15 +321,28 @@ func (s *Stack) allocPort() uint16 {
 	return p
 }
 
+// connSlot is one link of a demux chain: the connection plus the index of
+// the next slot sharing the same packed key (-1 = end of chain).
+type connSlot struct {
+	c    *Conn
+	next int32
+}
+
 // findConn returns the connection for a tuple, or nil. The chain beyond the
 // first hop is populated only by connections sharing a key, which requires
-// two local addresses — in the steady state every probe resolves on the map
-// hit itself.
+// two local addresses — in the steady state every probe resolves on the
+// table hit itself.
 func (s *Stack) findConn(t Tuple) *Conn {
-	for c := s.conns[t.key()]; c != nil; c = c.hashNext {
-		if c.tuple == t {
-			return c
+	i, ok := s.conns.Get(t.key())
+	if !ok {
+		return nil
+	}
+	for n := int32(i); n >= 0; {
+		slot := s.chains.At(uint32(n))
+		if slot.c.tuple == t {
+			return slot.c
 		}
+		n = slot.next
 	}
 	return nil
 }
@@ -330,8 +350,15 @@ func (s *Stack) findConn(t Tuple) *Conn {
 // insertConn indexes c under its tuple's key, prepending to the chain.
 func (s *Stack) insertConn(c *Conn) {
 	k := c.tuple.key()
-	c.hashNext = s.conns[k]
-	s.conns[k] = c
+	head := int32(-1)
+	if i, ok := s.conns.Get(k); ok {
+		head = int32(i)
+	}
+	idx := s.chains.Alloc()
+	slot := s.chains.At(idx)
+	slot.c = c
+	slot.next = head
+	s.conns.Put(k, idx)
 	s.nconns++
 }
 
@@ -339,35 +366,37 @@ func (s *Stack) insertConn(c *Conn) {
 // was indexed.
 func (s *Stack) deleteConn(c *Conn) bool {
 	k := c.tuple.key()
-	var prev *Conn
-	for cur := s.conns[k]; cur != nil; prev, cur = cur, cur.hashNext {
-		if cur != c {
+	i, ok := s.conns.Get(k)
+	if !ok {
+		return false
+	}
+	prev := int32(-1)
+	for n := int32(i); n >= 0; {
+		slot := s.chains.At(uint32(n))
+		if slot.c != c {
+			prev, n = n, slot.next
 			continue
 		}
-		if prev == nil {
-			if cur.hashNext == nil {
-				delete(s.conns, k)
-			} else {
-				s.conns[k] = cur.hashNext
-			}
-		} else {
-			prev.hashNext = cur.hashNext
+		next := slot.next
+		switch {
+		case prev >= 0:
+			s.chains.At(uint32(prev)).next = next
+		case next >= 0:
+			s.conns.Put(k, uint32(next))
+		default:
+			s.conns.Delete(k)
 		}
-		cur.hashNext = nil
+		s.chains.Free(uint32(n))
 		s.nconns--
 		return true
 	}
 	return false
 }
 
-// Conns returns the current connections (copy).
+// Conns returns the current connections (copy), in slab slot order.
 func (s *Stack) Conns() []*Conn {
 	out := make([]*Conn, 0, s.nconns)
-	for _, c := range s.conns {
-		for ; c != nil; c = c.hashNext {
-			out = append(out, c)
-		}
-	}
+	s.chains.Range(func(_ uint32, slot *connSlot) { out = append(out, slot.c) })
 	return out
 }
 
