@@ -11,17 +11,24 @@
 //
 // Usage:
 //
-//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|memscale|failtimeline|adversary|slo]
+//	failover-bench [-experiment all|connsetup|fig3|fig4|fig5|fig6|ablate|failover|faultsweep|connscale|shardscale|memscale|failtimeline|adversary|slo|stallscale]
 //	               [-list] [-conns N] [-reps N] [-stream BYTES] [-runs N]
 //	               [-faultrates R1,R2,...] [-connscale N1,N2,...]
 //	               [-shardscale N1,N2,...] [-shards S1,S2,...]
 //	               [-memscale N1,N2,...]
-//	               [-sloloads L1,L2,...] [-slowindow D] [-sloworkload NAME] [-json]
-//	               [-metrics-out FILE] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	               [-sloloads L1,L2,...] [-slowindow D] [-sloworkload NAME]
+//	               [-stallscale N1,N2,...] [-json]
+//	               [-metrics-out FILE] [-timeseries-out FILE]
+//	               [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -metrics-out, one instrumented failover scenario is run after the
 // experiments and its metrics registry is written to FILE — JSON when the
 // name ends in .json, Prometheus text exposition format otherwise.
+//
+// With -timeseries-out, a two-cell sharded scenario under open-loop web
+// traffic is run with a mid-window primary crash, every cell's registry is
+// sampled on a fixed sim-time grid, and the merged fleet timeseries is
+// written to FILE — JSON when the name ends in .json, CSV otherwise.
 package main
 
 import (
@@ -45,7 +52,7 @@ const trajectoryFile = "BENCH_trajectory.json"
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, memscale, failtimeline, adversary, slo")
+			"which experiment to run: all, connsetup, fig3, fig4, fig5, fig6, ablate, failover, faultsweep, connscale, shardscale, memscale, failtimeline, adversary, slo, stallscale")
 		list       = flag.Bool("list", false, "list the experiment names and exit")
 		conns      = flag.Int("conns", 51, "connections for the setup-time experiment")
 		reps       = flag.Int("reps", 5, "repetitions per data point")
@@ -67,9 +74,13 @@ func main() {
 			"measurement window of virtual time per SLO cell (default 8s)")
 		sloWorkload = flag.String("sloworkload", "",
 			"workload-zoo entry for the SLO experiment: web, flash, diurnal (default web)")
+		stallScale = flag.String("stallscale", "",
+			"comma-separated connection counts for the stall-attribution experiment (default 1000,10000,100000)")
 		jsonOut    = flag.Bool("json", false, "also write "+trajectoryFile)
 		metricsOut = flag.String("metrics-out", "",
 			"write a metrics snapshot from one failover scenario to this file (.json or Prometheus text)")
+		timeseriesOut = flag.String("timeseries-out", "",
+			"write a sampled metrics timeseries from a sharded crash scenario to this file (.json or CSV)")
 		workers    = flag.Int("workers", bench.Workers, "simulation worker goroutines")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -113,6 +124,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
+	stallCounts, err := parseCounts(*stallScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Experiments: []string{*experiment},
 		Conns:       *conns,
@@ -127,13 +143,14 @@ func main() {
 		SLOLoads:    loads,
 		SLOWindow:   *sloWindow,
 		SLOWorkload: *sloWorkload,
+		StallScale:  stallCounts,
 	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "failover-bench:", err)
 		os.Exit(1)
 	}
-	runErr := run(cfg, *jsonOut, *metricsOut)
+	runErr := run(cfg, *jsonOut, *metricsOut, *timeseriesOut)
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -203,7 +220,7 @@ func startProfiles(cpu, mem, tr string) (func() error, error) {
 	}, nil
 }
 
-func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
+func run(cfg bench.Config, jsonOut bool, metricsOut, timeseriesOut string) error {
 	t, err := bench.RunAll(cfg)
 	if err != nil {
 		return err
@@ -251,11 +268,20 @@ func run(cfg bench.Config, jsonOut bool, metricsOut string) error {
 	if r.SLO != nil {
 		sloOut(r.SLO)
 	}
+	if r.StallScale != nil {
+		stallScaleOut(r.StallScale)
+	}
 	if metricsOut != "" {
 		if err := writeMetrics(metricsOut); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (metrics snapshot, one failover scenario)\n", metricsOut)
+	}
+	if timeseriesOut != "" {
+		if err := writeTimeseries(timeseriesOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (sampled fleet timeseries, sharded crash scenario)\n", timeseriesOut)
 	}
 	if jsonOut {
 		blob, err := json.MarshalIndent(t, "", "  ")
@@ -555,6 +581,54 @@ func timeline(r bench.TimelineResult) {
 	fmt.Println("sample run 0:")
 	_ = r.Sample.WriteText(os.Stdout)
 	fmt.Println()
+}
+
+func stallScaleOut(points []bench.StallScalePoint) {
+	fmt.Println("=== E14 (extension): fleet-scale stall attribution ===")
+	fmt.Println("(open-loop web sessions across testbed cells; every cell's primary")
+	fmt.Println(" crashes mid-window; each connection's client-visible stall is read")
+	fmt.Println(" from its lifecycle span and attributed per phase against the fleet")
+	fmt.Println(" failure/detect/takeover marks; log-histogram percentiles, <=1/32")
+	fmt.Println(" relative error; byte-identical for any worker or shard count)")
+	for _, p := range points {
+		fmt.Printf("conns %d (cells %d, %.1f sessions/s/cell, %v window): %d spans, %d stalled, digest %s\n",
+			p.Conns, p.Cells, p.LoadPerCell, p.Window, p.Spans, p.Stalled, p.SpanDigest)
+		fmt.Printf("  %-10s %12s %12s %12s %12s\n", "phase", "p50", "p99", "p99.9", "max")
+		for _, row := range []struct {
+			name string
+			st   bench.StallPhaseStats
+		}{
+			{"total", p.Total}, {"precrash", p.PreCrash}, {"detection", p.Detection},
+			{"announce", p.Announce}, {"resume", p.Resume}, {"recovery", p.Recovery},
+		} {
+			fmt.Printf("  %-10s %12v %12v %12v %12v\n", row.name,
+				row.st.P50.Round(time.Microsecond), row.st.P99.Round(time.Microsecond),
+				row.st.P999.Round(time.Microsecond), row.st.Max.Round(time.Microsecond))
+		}
+	}
+	fmt.Println()
+}
+
+// writeTimeseries runs the sharded crash scenario and writes the merged,
+// sampled fleet timeseries — JSON for .json files, CSV otherwise.
+func writeTimeseries(path string) error {
+	ts, err := bench.CollectTimeseries(0, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = ts.WriteJSON(f)
+	} else {
+		err = ts.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeMetrics runs the instrumented failover scenario and dumps its

@@ -8,11 +8,18 @@
 //
 // Usage:
 //
-//	failover-trace [-bytes N] [-crash-at N] [-no-crash] [-hosts client,primary,secondary,router] [-pcap out.pcap]
+//	failover-trace [-seed N] [-bytes N] [-crash-at N] [-no-crash]
+//	               [-hosts client,primary,secondary,router]
+//	               [-pcap out.pcap] [-perfetto out.json]
 //
 // With -pcap, every traced host also feeds the obs flight recorder and the
 // capture is written as a standard pcap file (or pcapng when the file name
 // ends in .pcapng), readable by tcpdump and Wireshark.
+//
+// With -perfetto, the run records per-connection lifecycle spans and a
+// sampled metrics timeseries and writes them as Chrome trace-event JSON —
+// load the file at ui.perfetto.dev to see the connection's setup and stall
+// slices, the fleet failure/detect/takeover marks, and counter tracks.
 package main
 
 import (
@@ -32,27 +39,34 @@ import (
 
 func main() {
 	var (
+		seed    = flag.Int64("seed", 1, "simulation seed (every run is a pure function of it)")
 		total   = flag.Int64("bytes", 16*1024, "bytes to echo through the connection")
 		crashAt = flag.Int64("crash-at", -1, "crash the primary after this many echoed bytes (-1 = half)")
 		noCrash = flag.Bool("no-crash", false, "fault-free run")
 		hosts   = flag.String("hosts", "client,primary,secondary,router",
 			"comma-separated hosts to trace")
 		pcapOut = flag.String("pcap", "", "write the traced packets to this pcap (or .pcapng) file")
+		perfOut = flag.String("perfetto", "",
+			"write connection spans and sampled metrics as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*total, *crashAt, *noCrash, *hosts, *pcapOut); err != nil {
+	if err := run(*seed, *total, *crashAt, *noCrash, *hosts, *pcapOut, *perfOut); err != nil {
 		fmt.Fprintln(os.Stderr, "failover-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(total, crashAt int64, noCrash bool, hosts, pcapOut string) error {
+func run(seed, total, crashAt int64, noCrash bool, hosts, pcapOut, perfOut string) error {
 	opts := tcpfailover.LANOptions()
+	opts.Seed = seed
 	opts.ServerPorts = []uint16{7}
+	opts.Spans = perfOut != ""
 	sc, err := tcpfailover.NewScenario(opts)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("%12s ***           run header: seed=%d bytes=%d hosts=%s\n",
+		fmt.Sprintf("%.6f", sc.Now().Seconds()), seed, total, hosts)
 	if err := sc.Group.OnEach(func(h *netstack.Host) error {
 		_, err := apps.NewEchoServer(h.TCP(), 7)
 		return err
@@ -125,12 +139,31 @@ func run(total, crashAt int64, noCrash bool, hosts, pcapOut string) error {
 	})
 	conn.OnClose(func(error) { closed = true })
 
+	var sampler *obs.Sampler
+	if perfOut != "" {
+		// The sampler rides the simulation as an ordinary recurring event, so
+		// every sample lands on the deterministic sim-time grid. Ticking stops
+		// with the transfer: the long post-close quiet period would otherwise
+		// wrap the ring past the failover window the trace is about.
+		const period = 10 * time.Millisecond
+		sampler = obs.NewSampler(sc.Obs, period, 4096)
+		var tick func()
+		tick = func() {
+			sampler.Sample(sc.Now())
+			if received < total {
+				sc.Sched.After(period, "obs.sample", tick)
+			}
+		}
+		sc.Sched.After(period, "obs.sample", tick)
+	}
+
 	if !crashed {
 		if err := sc.RunUntil(func() bool { return received >= crashAt }, time.Minute); err != nil {
 			return err
 		}
 		fmt.Printf("%12s ***           primary crashes (echoed %d bytes)\n",
 			fmt.Sprintf("%.6f", sc.Now().Seconds()), received)
+		sc.Spans.MarkFailure(sc.Now())
 		sc.Group.CrashPrimary()
 	}
 	if err := sc.RunUntil(func() bool { return received == total }, 10*time.Minute); err != nil {
@@ -148,7 +181,26 @@ func run(total, crashAt int64, noCrash bool, hosts, pcapOut string) error {
 		}
 		fmt.Printf("wrote %d packets to %s\n", rec.Len(), pcapOut)
 	}
+	if perfOut != "" {
+		sampler.Sample(sc.Now()) // close the counter tracks at the end of the run
+		if err := writePerfetto(perfOut, sc.Spans, sampler.Timeseries()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d connection spans to %s\n", sc.Spans.Len(), perfOut)
+	}
 	return nil
+}
+
+func writePerfetto(path string, spans *obs.SpanRecorder, ts *obs.Timeseries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.WritePerfetto(f, spans, ts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func writeCapture(path string, rec *obs.Recorder) error {

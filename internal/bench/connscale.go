@@ -68,7 +68,7 @@ func ConnScale(counts []int) ([]ConnScalePoint, error) {
 	}
 	out := make([]ConnScalePoint, 0, len(counts))
 	for i, n := range counts {
-		p, err := connScalePoint(int64(8000+i), n)
+		p, _, err := connScalePoint(int64(8000+i), n, false)
 		if err != nil {
 			return nil, fmt.Errorf("connscale %d conns: %w", n, err)
 		}
@@ -239,8 +239,11 @@ const csPointRepeats = 3
 // connScalePoint builds one failover scenario, dials n connections, lets
 // every connection complete csWarmupRounds rounds, then measures csBatches
 // batches of rounds: wall time and Mallocs per LAN frame, the scheduler
-// event count, and the per-batch median ns/frame.
-func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
+// event count, and the per-batch median ns/frame. With spans, the fleet
+// span recorder is attached so the tracing gate can prove lifecycle
+// recording adds no steady-state allocations; the second return is the
+// number of spans it recorded.
+func connScalePoint(seed int64, n int, spans bool) (ConnScalePoint, int, error) {
 	// Hand back whatever earlier points (or, when a caller runs connscale
 	// after other experiments) left on the heap before building this
 	// point's working set: at 10k connections the simulation state runs to
@@ -248,9 +251,11 @@ func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
 	// heap costs measurable extra cache and TLB misses in the measured
 	// batches. RunAll additionally orders connscale first for this reason.
 	debug.FreeOSMemory()
-	sc, err := tcpfailover.NewScenario(connScaleOptions(seed))
+	opts := connScaleOptions(seed)
+	opts.Spans = spans
+	sc, err := tcpfailover.NewScenario(opts)
 	if err != nil {
-		return ConnScalePoint{}, err
+		return ConnScalePoint{}, 0, err
 	}
 	h := &csHarness{sched: sc.Sched, scratch: make([]byte, 2048), reply: make([]byte, csReplyBytes)}
 	for i := range h.reply {
@@ -264,7 +269,7 @@ func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
 		})
 		return err
 	}); err != nil {
-		return ConnScalePoint{}, err
+		return ConnScalePoint{}, 0, err
 	}
 	sc.Start()
 
@@ -297,7 +302,7 @@ func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
 
 	warmTarget := int64(n) * csWarmupRounds
 	if err := runTo(warmTarget); err != nil {
-		return ConnScalePoint{}, fmt.Errorf("warmup: %w", err)
+		return ConnScalePoint{}, 0, fmt.Errorf("warmup: %w", err)
 	}
 	// Flush the setup phase's garbage now so no collection runs inside the
 	// measured batches (the steady state itself allocates nothing).
@@ -324,11 +329,11 @@ func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
 			wall := time.Since(start)
 			runtime.ReadMemStats(&ms1)
 			if err != nil {
-				return ConnScalePoint{}, fmt.Errorf("batch %d: %w", b, err)
+				return ConnScalePoint{}, 0, fmt.Errorf("batch %d: %w", b, err)
 			}
 			df := frames() - f0
 			if df <= 0 {
-				return ConnScalePoint{}, fmt.Errorf("batch %d: no frames carried", b)
+				return ConnScalePoint{}, 0, fmt.Errorf("batch %d: no frames carried", b)
 			}
 			p.Segments += df
 			p.WallNS += wall.Nanoseconds()
@@ -345,5 +350,5 @@ func connScalePoint(seed int64, n int) (ConnScalePoint, error) {
 		}
 	}
 	addEvents(sc)
-	return best, nil
+	return best, sc.Spans.Len(), nil
 }

@@ -31,3 +31,30 @@ func TestConnScaleSteadyStateAllocs(t *testing.T) {
 		t.Errorf("median ns/segment = %v, want > 0", p.MedianNsPerSegment)
 	}
 }
+
+// TestConnScaleTracingSteadyStateAllocs is the tracing allocation gate (CI
+// runs it on every push): the same E8 steady-state workload with the fleet
+// span recorder attached — every in-order delivery touching a span slot,
+// every segment branching on the takeover mark — must allocate exactly as
+// little as the untraced run. Span storage is table+slab, so once the
+// connection set is established the recorder's hot path is index-addressed
+// stores only.
+func TestConnScaleTracingSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate only means anything in a plain build")
+	}
+	p, spans, err := connScalePoint(8100, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segments == 0 || p.Rounds == 0 {
+		t.Fatalf("empty measurement: %+v", p)
+	}
+	if spans != 50 {
+		t.Fatalf("recorded %d spans, want one per connection (50)", spans)
+	}
+	if p.AllocsPerSegment >= 0.01 {
+		t.Errorf("tracing added steady-state allocations: %.4f allocs/segment (want < 0.01)",
+			p.AllocsPerSegment)
+	}
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tcpfailover"
+	"tcpfailover/internal/apps"
+	"tcpfailover/internal/ethernet"
+	"tcpfailover/internal/fault"
+	"tcpfailover/internal/loadgen"
+	"tcpfailover/internal/metrics"
+	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/obs"
+)
+
+// --- E14: fleet-scale stall attribution ------------------------------------------
+//
+// E9 decomposes the client-visible failover stall (detection, ARP announce,
+// redirection, ACK turnaround) for ONE hand-driven connection. E14 asks the
+// question at fleet scale: when the primary crashes mid-window under
+// open-loop web traffic at 1k/10k/100k connections, what stall does EACH
+// connection see, and where does its time go? Every connection's stall is
+// computed from its recorded lifecycle span (internal/obs.SpanRecorder) and
+// attributed per phase against the fleet failure/detect/takeover marks;
+// phase and total distributions are aggregated into log-bucketed histograms
+// whose p50/p99/p999/max land in BENCH_trajectory.json. All values are
+// functions of the seeds only — byte-identical for any bench worker count
+// and any shard count (the shard axis is purely a wall-clock knob and is
+// deliberately absent from the output).
+
+// DefaultStallScale is the connection-count axis of E14: the approximate
+// number of sessions arriving during the measurement window, spread over
+// enough testbed cells to stay below per-cell LAN saturation.
+var DefaultStallScale = []int{1000, 10000, 100000}
+
+// DefaultStallWindow is E14's per-point measurement window of virtual time.
+const DefaultStallWindow = 8 * time.Second
+
+// stallWarmup and stallDrain bracket the window like E12: arrivals run
+// unmeasured for the warmup, and in-flight work gets the drain to recover
+// after the crash before the point is scored.
+const (
+	stallWarmup = time.Second
+	stallDrain  = 2 * time.Second
+)
+
+// stallWorkload is the workload-zoo entry E14 drives.
+const stallWorkload = "web"
+
+// stallCells maps a connection count to a cell count: one cell per 1000
+// connections, clamped to [2, 64] (two cells so the sharded engine is
+// always exercised; 64 is the address plan's ceiling). The per-cell load
+// stays well under the ~270 sessions/s LAN saturation of the web workload.
+func stallCells(conns int) int {
+	c := conns / 1000
+	if c < 2 {
+		c = 2
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// StallPhaseStats are the log-histogram percentiles of one stall phase
+// across the fleet (completed stalls only). The histogram's relative
+// quantile error is bounded by 1/32 (internal/metrics.LogHistogram).
+type StallPhaseStats struct {
+	P50  time.Duration `json:"p50_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	P999 time.Duration `json:"p999_ns"`
+	Max  time.Duration `json:"max_ns"`
+}
+
+func stallStats(h *metrics.LogHistogram) StallPhaseStats {
+	return StallPhaseStats{
+		P50:  h.PercentileDuration(50),
+		P99:  h.PercentileDuration(99),
+		P999: h.PercentileDuration(99.9),
+		Max:  h.PercentileDuration(100),
+	}
+}
+
+// StallScalePoint is one connection-count point of E14. The shard count is
+// deliberately not recorded: it must not influence a single byte here.
+type StallScalePoint struct {
+	Conns       int           `json:"conns"`
+	Cells       int           `json:"cells"`
+	Workload    string        `json:"workload"`
+	LoadPerCell float64       `json:"sessions_per_sec_per_cell"`
+	Window      time.Duration `json:"window_ns"`
+
+	// Spans is the number of connection spans recorded across the fleet;
+	// Stalled is how many of them completed a measurable failover stall
+	// (recovered after the crash with a pre-takeover anchor).
+	Spans   int64 `json:"spans"`
+	Stalled int64 `json:"stalled"`
+
+	// SpanDigest folds every cell's span-recorder digest (in cell order)
+	// into one fleet hash — the determinism gates compare it across worker
+	// and shard counts.
+	SpanDigest string `json:"span_digest"`
+
+	Total     StallPhaseStats `json:"total"`
+	PreCrash  StallPhaseStats `json:"precrash"`
+	Detection StallPhaseStats `json:"detection"`
+	Announce  StallPhaseStats `json:"announce"`
+	Resume    StallPhaseStats `json:"resume"`
+	Recovery  StallPhaseStats `json:"recovery"`
+}
+
+// StallScale runs E14: for each connection count, a sharded multi-cell
+// simulation under open-loop web traffic whose every cell crashes its
+// primary mid-window (a correlated fleet failure), scored from the span
+// recorders. shards <= 0 selects min(cells, Workers) per point; any value
+// produces byte-identical results.
+func StallScale(conns []int, shards int) ([]StallScalePoint, error) {
+	if len(conns) == 0 {
+		conns = DefaultStallScale
+	}
+	out := make([]StallScalePoint, len(conns))
+	for i, n := range conns {
+		p, _, err := runStallScale(i, n, DefaultStallWindow, shards)
+		if err != nil {
+			return nil, fmt.Errorf("stallscale %d conns: %w", n, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// runStallScale executes one E14 point. It also returns the exact total
+// stall of every scored connection (cell order, span-key order within a
+// cell), which the percentile cross-check test compares against the
+// histogram estimates.
+func runStallScale(idx, conns int, window time.Duration, shards int) (StallScalePoint, []time.Duration, error) {
+	if window <= 0 {
+		window = DefaultStallWindow
+	}
+	cells := stallCells(conns)
+	if shards <= 0 {
+		shards = min(cells, Workers)
+	}
+	stop := stallWarmup + window
+	horizon := stop + stallDrain
+	crashAt := stallWarmup + window/2
+	load := float64(conns) / (float64(cells) * window.Seconds())
+
+	cellOpts := tcpfailover.LANOptions()
+	cellOpts.Seed = int64(14000 + 100*idx)
+	cellOpts.ServerPorts = []uint16{benchPort}
+	cellOpts.Spans = true
+	cellOpts.Faults = &fault.Plan{
+		Schedule: []fault.Step{{At: crashAt, Op: fault.OpCrashPrimary}},
+	}
+	ss, err := tcpfailover.NewSharded(tcpfailover.ShardedOptions{
+		Cells:     cells,
+		Shards:    shards,
+		Workers:   Workers,
+		Cell:      cellOpts,
+		CrossLink: ethernet.XConfig{Latency: 500 * time.Microsecond},
+	})
+	if err != nil {
+		return StallScalePoint{}, nil, err
+	}
+	for _, cell := range ss.Cells {
+		cell.Stream.Use()
+		if err := cell.Group.OnEach(func(h *netstack.Host) error {
+			_, err := apps.NewHTTPServer(h.TCP(), benchPort)
+			return err
+		}); err != nil {
+			return StallScalePoint{}, nil, fmt.Errorf("cell %d install: %w", cell.Index, err)
+		}
+	}
+	ss.Start()
+
+	spec, err := loadgen.Zoo(stallWorkload, load)
+	if err != nil {
+		return StallScalePoint{}, nil, err
+	}
+	for _, cell := range ss.Cells {
+		cell.Stream.Use()
+		loadgen.New(loadgen.Config{
+			Sched:       cell.Sched,
+			Stack:       cell.Client.TCP(),
+			Addr:        cell.ServiceAddr(),
+			Port:        benchPort,
+			Spec:        spec,
+			Rand:        fault.NewRand(uint64(cellOpts.Seed) + uint64(cell.Index)),
+			Stop:        stop,
+			MeasureFrom: stallWarmup,
+		}).Start(0)
+	}
+	if err := ss.RunUntil(horizon); err != nil {
+		return StallScalePoint{}, nil, err
+	}
+
+	p := StallScalePoint{
+		Conns:       conns,
+		Cells:       cells,
+		Workload:    stallWorkload,
+		LoadPerCell: load,
+		Window:      window,
+	}
+	var total, precrash, detection, announce, resume, recovery metrics.LogHistogram
+	var exact []time.Duration
+	digests := make([]uint64, 0, cells)
+	for _, cell := range ss.Cells {
+		rec := cell.Scenario.Spans
+		digests = append(digests, rec.Digest())
+		for _, sp := range rec.Spans() {
+			p.Spans++
+			st, ok := rec.Stall(&sp)
+			if !ok {
+				continue
+			}
+			p.Stalled++
+			exact = append(exact, st.Total)
+			total.ObserveDuration(st.Total)
+			precrash.ObserveDuration(st.PreCrash)
+			detection.ObserveDuration(st.Detection)
+			announce.ObserveDuration(st.Announce)
+			resume.ObserveDuration(st.Resume)
+			recovery.ObserveDuration(st.Recovery)
+		}
+	}
+	p.SpanDigest = fmt.Sprintf("%016x", obs.MergeSpanDigests(digests))
+	p.Total = stallStats(&total)
+	p.PreCrash = stallStats(&precrash)
+	p.Detection = stallStats(&detection)
+	p.Announce = stallStats(&announce)
+	p.Resume = stallStats(&resume)
+	p.Recovery = stallStats(&recovery)
+	addShardEvents(ss)
+	return p, exact, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestCollectTimeseriesShape checks the -timeseries-out workload samples a
+// regular grid and actually sees traffic: some counter must be increasing.
+func TestCollectTimeseriesShape(t *testing.T) {
+	ts, err := CollectTimeseries(200*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.TimesNs) == 0 || len(ts.Series) == 0 {
+		t.Fatalf("empty timeseries: %d rows, %d series", len(ts.TimesNs), len(ts.Series))
+	}
+	for i := 1; i < len(ts.TimesNs); i++ {
+		if ts.TimesNs[i]-ts.TimesNs[i-1] != int64(200*time.Millisecond) {
+			t.Fatalf("irregular grid at row %d: %d -> %d", i, ts.TimesNs[i-1], ts.TimesNs[i])
+		}
+	}
+	moved := false
+	for _, col := range ts.Series {
+		if col.Values[0] != col.Values[len(col.Values)-1] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("no series changed over the run — the sampler saw no traffic")
+	}
+	// The eviction-bounded span recorder exports through the same registry;
+	// its active-span gauge must be present and populated by the load.
+	found := false
+	for _, col := range ts.Series {
+		if col.Name == "obs_spans_active" {
+			found = true
+			if col.Values[len(col.Values)-1] == 0 {
+				t.Error("obs_spans_active never rose above zero under load")
+			}
+		}
+	}
+	if !found {
+		t.Error("obs_spans_active series missing from the sampled registry")
+	}
+}
+
+// TestCollectTimeseriesIdenticalAcrossShardCounts gates the merge: cells
+// sample their own registries on a shared sim-time grid, so the merged
+// fleet view must be byte-identical however the cells are packed onto
+// shards or bench workers.
+func TestCollectTimeseriesIdenticalAcrossShardCounts(t *testing.T) {
+	run := func(workers, shards int) []byte {
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		ts, err := CollectTimeseries(200*time.Millisecond, shards)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(1, 1)
+	for _, c := range []struct{ workers, shards int }{{4, 1}, {4, 2}} {
+		got := run(c.workers, c.shards)
+		if !bytes.Equal(base, got) {
+			t.Errorf("timeseries differs at workers=%d shards=%d:\n--- base ---\n%s\n--- got ---\n%s",
+				c.workers, c.shards, base, got)
+		}
+	}
+}

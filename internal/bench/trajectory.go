@@ -12,7 +12,7 @@ import (
 type Config struct {
 	// Experiments names the experiments to run: connscale, shardscale,
 	// memscale, connsetup, fig3, fig4, fig5, fig6, ablate, failover,
-	// faultsweep, failtimeline, adversary, slo.
+	// faultsweep, failtimeline, adversary, slo, stallscale.
 	// Empty or containing "all" runs everything. Execution order is always
 	// the canonical order above, regardless of the order named here.
 	Experiments []string `json:"experiments"`
@@ -47,6 +47,9 @@ type Config struct {
 	// SLOWorkload names the workload-zoo entry E12 drives; empty means
 	// DefaultSLOWorkload.
 	SLOWorkload string `json:"slo_workload,omitempty"`
+	// StallScale overrides the connection-count axis of E14; nil means
+	// DefaultStallScale.
+	StallScale []int `json:"stall_scale,omitempty"`
 }
 
 // experimentOrder is the canonical execution order; results are emitted in
@@ -61,7 +64,7 @@ type Config struct {
 // wall-clock cost and wants a heap that has not been churned by the
 // virtual-time experiments; memscale follows for the same reason (its cells
 // measure the process's own heap, and each cell re-settles it first).
-var experimentOrder = []string{"connscale", "shardscale", "memscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary", "slo"}
+var experimentOrder = []string{"connscale", "shardscale", "memscale", "connsetup", "fig3", "fig4", "fig5", "fig6", "ablate", "failover", "faultsweep", "failtimeline", "adversary", "slo", "stallscale"}
 
 // ExperimentNames lists the valid experiment names in canonical execution
 // order (plus the "all" pseudo-name accepted by Config.Experiments).
@@ -116,6 +119,7 @@ type Results struct {
 	Timeline   *TimelineResult   `json:"timeline,omitempty"`
 	Adversary  []AdversaryPoint  `json:"adversary,omitempty"`
 	SLO        []SLOPoint        `json:"slo,omitempty"`
+	StallScale []StallScalePoint `json:"stall_scale,omitempty"`
 	// ConnScale, ShardScale, and MemScale are the Results members with
 	// host-dependent fields (wall-clock, heap, and allocation counters);
 	// the determinism test compares the experiments above, which are
@@ -355,6 +359,15 @@ func RunAll(cfg Config) (*Trajectory, error) {
 		if err := t.measure("slo", func() error {
 			var err error
 			t.Results.SLO, err = SLO(cfg.SLOWorkload, cfg.SLOLoads, cfg.SLOWindow)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if want["stallscale"] {
+		if err := t.measure("stallscale", func() error {
+			var err error
+			t.Results.StallScale, err = StallScale(cfg.StallScale, 0)
 			return err
 		}); err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
 	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/tcp"
 )
 
@@ -67,6 +68,11 @@ type SecondaryBridge struct {
 
 	stats SecondaryStats
 	m     secondaryMetrics
+
+	// spans, when non-nil, receives the first-diverted milestone per flow
+	// (the bridge's TupleKey for an outbound diverted segment is bit-for-bit
+	// the client stack's Tuple.SpanKey) and the fleet takeover mark.
+	spans *obs.SpanRecorder
 
 	// OnTakeover, if set, is called when Takeover completes — after the
 	// gratuitous ARP announcing the primary's address has been broadcast.
@@ -216,6 +222,10 @@ func NewSecondaryBridge(host *netstack.Host, ifIndex int, primaryAddr, secondary
 // Stats returns a copy of the bridge counters.
 func (b *SecondaryBridge) Stats() SecondaryStats { return b.stats }
 
+// AttachSpans installs the fleet span recorder: the bridge marks each
+// flow's first diverted segment and timestamps the takeover/ARP announce.
+func (b *SecondaryBridge) AttachSpans(r *obs.SpanRecorder) { b.spans = r }
+
 // Inbound is the bridge's inbound interposition handler (exported for
 // composition and benchmarks; NewSecondaryBridge installs it automatically).
 func (b *SecondaryBridge) Inbound(ifIndex int, hdr ipv4.Header, payload []byte) (netstack.InVerdict, ipv4.Header, []byte) {
@@ -272,6 +282,9 @@ func (b *SecondaryBridge) outbound(src, dst ipv4.Addr, segment []byte) bool {
 	f := b.flow(key)
 	if !f.match {
 		return false
+	}
+	if b.spans != nil {
+		b.spans.Mark(uint64(key), obs.SpanFirstDiverted, b.host.Scheduler().Now())
 	}
 	// Build the diverted segment straight into a pooled packet buffer: the
 	// flow's precomputed option block is appended to the header copy and
@@ -347,6 +360,7 @@ func (b *SecondaryBridge) Takeover() error {
 	if err := b.host.Iface(b.ifIndex).ARP().Announce(b.aP); err != nil {
 		return err
 	}
+	b.spans.MarkTakeover(b.host.Scheduler().Now())
 	if b.OnTakeover != nil {
 		b.OnTakeover()
 	}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WritePerfetto emits a Chrome trace-event JSON file (the format
+// ui.perfetto.dev and chrome://tracing load) combining span tracks and
+// counter tracks:
+//
+//   - pid 1 "connections": one thread per recorded span (sorted by flow
+//     key), carrying complete ("X") slices for the setup (SYN->established)
+//     and stall (last progress -> first post-recovery delivery) intervals
+//     and instant ("i") events for every recorded milestone;
+//   - pid 1 thread 0 "fleet": global instant events for the failure
+//     injection, detector firing, and takeover/ARP announce marks;
+//   - pid 2 "metrics": counter ("C") events from the sampled timeseries,
+//     one track per series.
+//
+// Timestamps are microseconds (the trace-event unit) with a fractional
+// part carrying full nanosecond precision; displayTimeUnit is ns. The JSON
+// is built by hand with a fixed field order so the output is byte-stable
+// and golden-testable.
+func WritePerfetto(w io.Writer, spans *SpanRecorder, ts *Timeseries) error {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString("  ")
+		b.WriteString(line)
+	}
+
+	emit(`{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "connections"}}`)
+	emit(`{"name": "thread_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "fleet"}}`)
+	if ts != nil && len(ts.Series) > 0 {
+		emit(`{"name": "process_name", "ph": "M", "pid": 2, "tid": 0, "args": {"name": "metrics"}}`)
+	}
+
+	if spans != nil {
+		if t, ok := spans.FailureMark(); ok {
+			emit(fmt.Sprintf(`{"name": "failure_injected", "ph": "i", "pid": 1, "tid": 0, "ts": %s, "s": "g"}`, usTS(t)))
+		}
+		if t, ok := spans.DetectMark(); ok {
+			emit(fmt.Sprintf(`{"name": "detector_fired", "ph": "i", "pid": 1, "tid": 0, "ts": %s, "s": "g"}`, usTS(t)))
+		}
+		if t, ok := spans.TakeoverMark(); ok {
+			emit(fmt.Sprintf(`{"name": "takeover_done", "ph": "i", "pid": 1, "tid": 0, "ts": %s, "s": "g"}`, usTS(t)))
+		}
+		for tid, sp := range spans.Spans() {
+			span := sp
+			id := tid + 1
+			emit(fmt.Sprintf(`{"name": "thread_name", "ph": "M", "pid": 1, "tid": %d, "args": {"name": %q}}`,
+				id, connName(span.Key)))
+			if a, ok := span.Time(SpanSynSent); ok {
+				if z, ok := span.Time(SpanEstablished); ok && z >= a {
+					emit(fmt.Sprintf(`{"name": "setup", "ph": "X", "pid": 1, "tid": %d, "ts": %s, "dur": %s}`,
+						id, usTS(a), usTS(z-a)))
+				}
+			}
+			if st, ok := spans.Stall(&span); ok {
+				emit(fmt.Sprintf(`{"name": "stall", "ph": "X", "pid": 1, "tid": %d, "ts": %s, "dur": %s, `+
+					`"args": {"precrash_ns": %d, "detection_ns": %d, "announce_ns": %d, "resume_ns": %d, "recovery_ns": %d}}`,
+					id, usTS(st.Anchor), usTS(st.Total),
+					st.PreCrash.Nanoseconds(), st.Detection.Nanoseconds(), st.Announce.Nanoseconds(),
+					st.Resume.Nanoseconds(), st.Recovery.Nanoseconds()))
+			}
+			for m := SpanMilestone(0); m < NumSpanMilestones; m++ {
+				if t, ok := span.Time(m); ok {
+					emit(fmt.Sprintf(`{"name": %q, "ph": "i", "pid": 1, "tid": %d, "ts": %s, "s": "t"}`,
+						m.String(), id, usTS(t)))
+				}
+			}
+		}
+	}
+
+	if ts != nil {
+		for _, col := range ts.Series {
+			for i, t := range ts.TimesNs {
+				emit(fmt.Sprintf(`{"name": %q, "ph": "C", "pid": 2, "tid": 0, "ts": %s, "args": {"value": %d}}`,
+					col.Name, usTS(time.Duration(t)), col.Values[i]))
+			}
+		}
+	}
+
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// usTS renders a sim time as trace-event microseconds with a fractional
+// part preserving nanosecond precision ("1234.567").
+func usTS(t time.Duration) string {
+	ns := t.Nanoseconds()
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// connName renders a packed flow key (clientAddr<<32|clientPort<<16|
+// servicePort) as a human-readable track name.
+func connName(key uint64) string {
+	return fmt.Sprintf("conn %08x:%d->%d", uint32(key>>32), uint16(key>>16), uint16(key))
+}

@@ -1,0 +1,82 @@
+package obs
+
+import "time"
+
+// StallBreakdown is one connection's client-visible failover stall,
+// attributed to the phases of E9's single-connection timeline — but
+// computed from a recorded span, so it scales to the whole fleet.
+//
+// The stall runs from Anchor (the last pre-crash progress, or connection
+// establishment for flows that never got a byte through, or SYN for flows
+// caught mid-handshake) to the first post-recovery payload delivery. The
+// phase fields tile that interval exactly: PreCrash + Detection + Announce
+// + Resume + Recovery == Total.
+type StallBreakdown struct {
+	Anchor time.Duration // where the stall is measured from
+	Total  time.Duration // anchor -> first post-recovery delivery
+
+	PreCrash  time.Duration // anchor -> failure injection
+	Detection time.Duration // failure injection -> detector fired
+	Announce  time.Duration // detector fired -> takeover done (ARP announce)
+	Resume    time.Duration // takeover -> first segment reaching the client
+	Recovery  time.Duration // first post-takeover segment -> first delivery
+}
+
+// Stall computes sp's client-visible stall against the recorder's fleet
+// marks. It returns false when the span records no completed stall: the
+// connection never recovered (no post-failure delivery), was established
+// only after takeover, or the fleet marks are incomplete.
+func (r *SpanRecorder) Stall(sp *Span) (StallBreakdown, bool) {
+	if r == nil || !r.haveFailure || !r.haveDetect || !r.haveTakeover {
+		return StallBreakdown{}, false
+	}
+	if !sp.Has(SpanFirstRecovery) {
+		return StallBreakdown{}, false
+	}
+	anchor, ok := sp.Time(SpanLastProgress)
+	if !ok {
+		if anchor, ok = sp.Time(SpanEstablished); !ok {
+			if anchor, ok = sp.Time(SpanSynSent); !ok {
+				return StallBreakdown{}, false
+			}
+		}
+	}
+	if anchor >= r.takeoverAt {
+		// The flow only became active after the takeover completed; it
+		// never experienced the outage.
+		return StallBreakdown{}, false
+	}
+	end := sp.Times[SpanFirstRecovery]
+	if end < anchor {
+		return StallBreakdown{}, false
+	}
+	resumeEnd := end
+	if t, ok := sp.Time(SpanFirstAfterTakeover); ok {
+		resumeEnd = t
+	}
+	// Clamp the phase boundaries into [anchor, end] and force them
+	// monotone, so the phase durations are non-negative and tile the
+	// stall exactly even when a boundary lands outside the interval.
+	clamp := func(t, lo time.Duration) time.Duration {
+		if t < lo {
+			t = lo
+		}
+		if t > end {
+			t = end
+		}
+		return t
+	}
+	b1 := clamp(r.failureAt, anchor) // end of pre-crash
+	b2 := clamp(r.detectAt, b1)      // end of detection
+	b3 := clamp(r.takeoverAt, b2)    // end of announce
+	b4 := clamp(resumeEnd, b3)       // end of resume
+	return StallBreakdown{
+		Anchor:    anchor,
+		Total:     end - anchor,
+		PreCrash:  b1 - anchor,
+		Detection: b2 - b1,
+		Announce:  b3 - b2,
+		Resume:    b4 - b3,
+		Recovery:  end - b4,
+	}, true
+}

@@ -13,6 +13,7 @@ import (
 	"tcpfailover/internal/detect"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netstack"
+	"tcpfailover/internal/obs"
 )
 
 // Config assembles a Group.
@@ -75,6 +76,11 @@ type Group struct {
 	// detection phase here.
 	OnPrimaryFailureDetected func()
 
+	// spans, when attached, receives the detector-fired fleet mark the
+	// instant the secondary declares the primary dead — independent of any
+	// OnPrimaryFailureDetected callback a harness may also install.
+	spans *obs.SpanRecorder
+
 	started bool
 }
 
@@ -111,6 +117,7 @@ func NewGroup(primary, secondary *netstack.Host, cfg Config) (*Group, error) {
 		}
 	})
 	g.detectOnSecondary = detect.New(secondary, aS, aP, cfg.Detect, func() {
+		g.spans.MarkDetect(g.secondary.Scheduler().Now())
 		if g.OnPrimaryFailureDetected != nil {
 			g.OnPrimaryFailureDetected()
 		}
@@ -151,6 +158,14 @@ func (g *Group) ServiceAddr() ipv4.Addr { return g.aP }
 // Selector exposes the failover-connection selector (to enable individual
 // connections, the paper's socket-option method).
 func (g *Group) Selector() *core.Selector { return g.sel }
+
+// AttachSpans installs the fleet span recorder on the group: the detector
+// mark lands here, and the secondary bridge is wired for the per-flow
+// first-diverted milestone and the takeover mark.
+func (g *Group) AttachSpans(r *obs.SpanRecorder) {
+	g.spans = r
+	g.sb.AttachSpans(r)
+}
 
 // PrimaryBridge exposes the primary bridge (stats, tests).
 func (g *Group) PrimaryBridge() *core.PrimaryBridge { return g.pb }

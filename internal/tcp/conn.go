@@ -474,6 +474,7 @@ func (c *Conn) onRexmtTimeout() {
 	}
 	c.stack.stats.Retransmissions++
 	c.stack.m.retransmissions.Inc()
+	c.stack.spans.Retransmit(c.tuple.SpanKey())
 	c.rto.backoff()
 	c.timing = false // Karn: do not time retransmitted segments
 	c.dupAcks = 0
@@ -514,6 +515,7 @@ func (c *Conn) maybeArmPersist() {
 	if unsent > 0 && c.sndNxt == c.sndUna && !c.persistTimer.Pending() && !c.rexmtTimer.Pending() {
 		c.persistCount = 0
 		c.stack.m.zeroWindowStalls.Inc()
+		c.stack.spans.ZeroWindow(c.tuple.SpanKey())
 		c.armPersist()
 	}
 }

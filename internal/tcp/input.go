@@ -2,9 +2,18 @@ package tcp
 
 // Segment arrival processing (RFC 793 section 3.9, "SEGMENT ARRIVES").
 
-import "tcpfailover/internal/sim"
+import (
+	"tcpfailover/internal/obs"
+	"tcpfailover/internal/sim"
+)
 
 func (c *Conn) input(seg *Segment) {
+	if sp := c.stack.spans; sp != nil && sp.TakeoverMarked() {
+		// First segment reaching this endpoint after the secondary's
+		// takeover: the moment redirected traffic starts flowing again.
+		// Pre-takeover the hook costs one predictable branch.
+		sp.Mark(c.tuple.SpanKey(), obs.SpanFirstAfterTakeover, c.stack.sched.Now())
+	}
 	switch c.state {
 	case StateClosed:
 		return
@@ -59,6 +68,9 @@ func (c *Conn) input(seg *Segment) {
 			c.sndWl1 = seg.Seq
 			c.sndWl2 = seg.Ack
 			c.stopRexmt()
+			if sp := c.stack.spans; sp != nil {
+				sp.Mark(c.tuple.SpanKey(), obs.SpanEstablished, c.stack.sched.Now())
+			}
 			if c.listener != nil && c.listener.onAccept != nil {
 				c.listener.onAccept(c)
 			}
@@ -133,6 +145,9 @@ func (c *Conn) inputSynSent(seg *Segment) {
 	}
 	if c.sndUna.Greater(c.iss) {
 		c.state = StateEstablished
+		if sp := c.stack.spans; sp != nil {
+			sp.Mark(c.tuple.SpanKey(), obs.SpanEstablished, c.stack.sched.Now())
+		}
 		c.stopRexmt()
 		c.sendAck()
 		if c.onEstablished != nil {
@@ -308,6 +323,7 @@ func (c *Conn) retransmitOne() {
 		c.timing = false // Karn
 		c.stack.stats.Retransmissions++
 		c.stack.m.retransmissions.Inc()
+		c.stack.spans.Retransmit(c.tuple.SpanKey())
 		c.emitData(seg, off, n)
 		return
 	}
@@ -316,6 +332,7 @@ func (c *Conn) retransmitOne() {
 		c.timing = false // Karn
 		c.stack.stats.Retransmissions++
 		c.stack.m.retransmissions.Inc()
+		c.stack.spans.Retransmit(c.tuple.SpanKey())
 		c.emit(seg)
 	}
 }
@@ -388,6 +405,9 @@ func (c *Conn) processPayload(seg *Segment) {
 		}
 		if !c.reasm.empty() {
 			c.ackNowFlag = true
+		}
+		if sp := c.stack.spans; sp != nil {
+			sp.Progress(c.tuple.SpanKey(), c.stack.sched.Now())
 		}
 		if c.onReadable != nil {
 			c.onReadable()

@@ -49,3 +49,16 @@ func newStackMetrics(reg *obs.Registry, host string) stackMetrics {
 func (s *Stack) AttachObs(reg *obs.Registry, host string) {
 	s.m = newStackMetrics(reg, host)
 }
+
+// AttachSpans installs a per-connection lifecycle span recorder on the
+// stack. Call at scenario build time, before traffic; pass nil to detach.
+// The stack marks SYN-sent on dial, established/first-byte/progress from
+// the input path, and attributes retransmissions and zero-window stalls to
+// the owning flow's span.
+func (s *Stack) AttachSpans(r *obs.SpanRecorder) {
+	s.spans = r
+}
+
+// Spans returns the recorder installed by AttachSpans (nil when tracing is
+// off).
+func (s *Stack) Spans() *obs.SpanRecorder { return s.spans }

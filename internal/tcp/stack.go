@@ -9,6 +9,7 @@ import (
 	"tcpfailover/internal/flowtab"
 	"tcpfailover/internal/ipv4"
 	"tcpfailover/internal/netbuf"
+	"tcpfailover/internal/obs"
 	"tcpfailover/internal/sim"
 )
 
@@ -166,6 +167,16 @@ func (t Tuple) key() uint64 {
 	return uint64(t.RemoteAddr)<<32 | uint64(t.RemotePort)<<16 | uint64(t.LocalPort)
 }
 
+// SpanKey packs the tuple into the canonical span-recorder key: the
+// client-side endpoint plus the service port. Evaluated on the client's
+// tuple this is clientAddr<<32|clientPort<<16|servicePort — exactly what
+// the secondary bridge computes from a diverted segment's addresses on its
+// outbound path (core.MakeTupleKey(dst, dstPort, srcPort)), so both sides
+// address the same span without any translation table.
+func (t Tuple) SpanKey() uint64 {
+	return uint64(t.LocalAddr)<<32 | uint64(t.LocalPort)<<16 | uint64(t.RemotePort)
+}
+
 // Stack is one host's TCP layer. It is event-driven: all methods must be
 // called from the simulation loop.
 type Stack struct {
@@ -198,6 +209,13 @@ type Stack struct {
 
 	stats Stats
 	m     stackMetrics
+
+	// spans, when non-nil, records per-connection lifecycle milestones
+	// (SYN sent, established, payload progress, retransmits, zero-window
+	// stalls) into the fleet span recorder. All SpanRecorder methods are
+	// nil-receiver safe, so the hooks cost one predictable branch when
+	// tracing is off.
+	spans *obs.SpanRecorder
 }
 
 // Stats aggregates stack-wide counters.
@@ -290,6 +308,9 @@ func (s *Stack) Dial(raddr ipv4.Addr, rport uint16) (*Conn, error) {
 	}
 	c.state = StateSynSent
 	s.insertConn(c)
+	if s.spans != nil {
+		s.spans.Mark(c.tuple.SpanKey(), obs.SpanSynSent, s.sched.Now())
+	}
 	c.sendSYN(false)
 	return c, nil
 }
@@ -308,6 +329,9 @@ func (s *Stack) DialFrom(lport uint16, raddr ipv4.Addr, rport uint16) (*Conn, er
 	c := s.newConn(t)
 	c.state = StateSynSent
 	s.insertConn(c)
+	if s.spans != nil {
+		s.spans.Mark(c.tuple.SpanKey(), obs.SpanSynSent, s.sched.Now())
+	}
 	c.sendSYN(false)
 	return c, nil
 }

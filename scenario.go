@@ -146,6 +146,15 @@ type Options struct {
 	// topology (see NewSharded). The default 0 is the historical single-cell
 	// plan, so plain scenarios are unchanged.
 	CellIndex int
+	// Spans enables fleet span tracing: a per-connection lifecycle recorder
+	// is attached to the client stack and the replica group, and the crash
+	// schedule stamps the fleet failure mark. Off by default — the recorder
+	// is pointer-free and alloc-free in the steady state, but the hooks
+	// still cost a branch per segment event.
+	Spans bool
+	// SpanLimit bounds the live spans (LRU eviction beyond the cap, like
+	// the bridge flow caches); 0 means unbounded.
+	SpanLimit int
 }
 
 // LANOptions returns the paper's LAN testbed: 100 Mbit/s Ethernet
@@ -199,6 +208,11 @@ type Scenario struct {
 	// (scheduler, links, hosts, bridges, fault injectors) is attached at
 	// build time, so steady-state updates are handle stores with no lookup.
 	Obs *obs.Registry
+
+	// Spans is the fleet span recorder, non-nil when Options.Spans is set:
+	// per-connection lifecycle milestones recorded by the client stack and
+	// the secondary bridge, plus the failure/detect/takeover fleet marks.
+	Spans *obs.SpanRecorder
 
 	opts          Options
 	plan          cellPlan
@@ -310,6 +324,14 @@ func newScenarioOn(sched *sim.Scheduler, opts Options) (*Scenario, error) {
 	sc.Faults = fault.NewSet(sched, opts.Seed, topo)
 	sc.Obs = obs.NewRegistry()
 	sc.attachObs()
+	if opts.Spans {
+		sc.Spans = obs.NewSpanRecorder(opts.SpanLimit)
+		sc.Spans.AttachObs(sc.Obs)
+		sc.Client.TCP().AttachSpans(sc.Spans)
+		if sc.Group != nil {
+			sc.Group.AttachSpans(sc.Spans)
+		}
+	}
 	if opts.Faults != nil {
 		if err := sc.Faults.Apply(opts.Faults.Impairments); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
@@ -371,6 +393,7 @@ func (sc *Scenario) validateStep(step fault.Step) error {
 func (sc *Scenario) applyStep(step fault.Step) {
 	switch step.Op {
 	case fault.OpCrashPrimary:
+		sc.Spans.MarkFailure(sc.Sched.Now())
 		sc.Primary.Crash()
 	case fault.OpCrashSecondary:
 		sc.Secondary.Crash()
